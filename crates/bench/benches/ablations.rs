@@ -1,0 +1,62 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Hilbert vs Z-order** as the 1D mapping (the paper cites Moon et
+//!    al. for Hilbert's clustering advantage — here it is, measured);
+//! 2. **range-merge budget** — how many `$or` intervals a query carries
+//!    trades B-tree seeks against false-positive keys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_curve::locality::clusters_for_rect;
+use sts_curve::{CurveGrid, CurveKind, RangeBudget, PAPER_CURVE_ORDER};
+use sts_workload::queries::QuerySize;
+use sts_workload::R_MBR;
+
+fn bench_curve_choice(c: &mut Criterion) {
+    let hilbert = CurveGrid::new(R_MBR, PAPER_CURVE_ORDER, CurveKind::Hilbert);
+    let zorder = CurveGrid::new(R_MBR, PAPER_CURVE_ORDER, CurveKind::ZOrder);
+    // Report the clustering numbers once (the quality side of the
+    // ablation); then benchmark the decomposition cost side.
+    for size in [QuerySize::Small, QuerySize::Big] {
+        eprintln!(
+            "# clusters for {}: hilbert={} zorder={}",
+            size.label(),
+            clusters_for_rect(&hilbert, &size.rect()),
+            clusters_for_rect(&zorder, &size.rect()),
+        );
+    }
+    let mut g = c.benchmark_group("ablation_curve_kind");
+    for (name, grid) in [("hilbert", &hilbert), ("zorder", &zorder)] {
+        for size in [QuerySize::Small, QuerySize::Big] {
+            let rect = size.rect();
+            g.bench_function(format!("{name}/{}", size.label()), |b| {
+                b.iter(|| black_box(grid.decompose_rect(&rect, RangeBudget::UNLIMITED)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_range_budget(c: &mut Criterion) {
+    let grid = CurveGrid::new(R_MBR, PAPER_CURVE_ORDER, CurveKind::Hilbert);
+    let rect = QuerySize::Big.rect();
+    for budget in [4usize, 16, 64, 256, usize::MAX] {
+        let n = grid.decompose_rect(&rect, RangeBudget::new(budget.min(1 << 20))).len();
+        let span: u64 = grid
+            .decompose_rect(&rect, RangeBudget::new(budget.min(1 << 20)))
+            .iter()
+            .map(|(lo, hi)| hi - lo + 1)
+            .sum();
+        eprintln!("# budget {budget}: {n} ranges, {span} covered cells");
+    }
+    let mut g = c.benchmark_group("ablation_range_budget");
+    for budget in [4usize, 16, 64, 256] {
+        g.bench_function(format!("budget{budget}"), |b| {
+            b.iter(|| black_box(grid.decompose_rect(&rect, RangeBudget::new(budget))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_curve_choice, bench_range_budget);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! B+tree microbenchmarks: the index structure behind every approach.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::ops::Bound;
+use sts_btree::BTree;
+
+fn key(n: u64) -> [u8; 8] {
+    n.to_be_bytes()
+}
+
+fn filled(n: u64) -> BTree {
+    let mut t = BTree::new();
+    for i in 0..n {
+        // splitmix to avoid purely-ascending insertion patterns
+        let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        t.insert(&key(k), i);
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree_insert");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("random_100k", |b| {
+        b.iter_batched(BTree::new, |mut t| {
+            for i in 0..100_000u64 {
+                let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                t.insert(&key(k), i);
+            }
+            t
+        }, BatchSize::LargeInput)
+    });
+    g.bench_function("ascending_100k", |b| {
+        b.iter_batched(BTree::new, |mut t| {
+            for i in 0..100_000u64 {
+                t.insert(&key(i), i);
+            }
+            t
+        }, BatchSize::LargeInput)
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let t = filled(200_000);
+    let mut g = c.benchmark_group("btree_scan");
+    g.bench_function("point_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let k = (i % 200_000).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            black_box(t.get(&key(k)))
+        })
+    });
+    g.bench_function("range_1k", |b| {
+        b.iter(|| {
+            let n: u64 = t
+                .range(Bound::Included(key(1 << 40).to_vec()), Bound::Unbounded)
+                .take(1_000)
+                .map(|(_, v)| v)
+                .sum();
+            black_box(n)
+        })
+    });
+    g.bench_function("estimate_range", |b| {
+        b.iter(|| {
+            black_box(t.estimate_range(
+                &Bound::Included(key(1 << 40).to_vec()),
+                &Bound::Excluded(key(1 << 60).to_vec()),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_size_report(c: &mut Criterion) {
+    let t = filled(100_000);
+    c.bench_function("btree_size_report_100k", |b| {
+        b.iter(|| black_box(t.size_report()))
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_scan, bench_size_report);
+criterion_main!(benches);

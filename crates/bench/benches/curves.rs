@@ -1,0 +1,58 @@
+//! Microbenchmarks of the space-filling-curve layer: encode/decode and
+//! the Table 8 range-decomposition algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sts_curve::{hilbert, zorder, CurveGrid, RangeBudget, PAPER_CURVE_ORDER};
+use sts_workload::queries::QuerySize;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curve_encode");
+    for order in [13u32, 16, 24] {
+        g.bench_with_input(BenchmarkId::new("hilbert_xy2d", order), &order, |b, &o| {
+            let m = (1u64 << o) - 1;
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9) & m;
+                black_box(hilbert::xy2d(o, i, m - i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hilbert_d2xy", order), &order, |b, &o| {
+            let m = (1u64 << (2 * o)) - 1;
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9_7F4A_7C15) & m;
+                black_box(hilbert::d2xy(o, i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("zorder_xy2z", order), &order, |b, &o| {
+            let m = (1u64 << o) - 1;
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9) & m;
+                black_box(zorder::xy2z(o, i, m - i))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 8's quantity: decompose the paper's query rectangles.
+fn bench_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_decomposition_table8");
+    let world = CurveGrid::world(PAPER_CURVE_ORDER);
+    let fitted_r = CurveGrid::fitted(sts_workload::R_MBR, PAPER_CURVE_ORDER);
+    let fitted_s = CurveGrid::fitted(sts_workload::S_MBR, PAPER_CURVE_ORDER);
+    for (name, grid) in [("hil", &world), ("hil*_R", &fitted_r), ("hil*_S", &fitted_s)] {
+        for size in [QuerySize::Small, QuerySize::Big] {
+            let rect = size.rect();
+            g.bench_function(format!("{name}/{}", size.label()), |b| {
+                b.iter(|| black_box(grid.decompose_rect(&rect, RangeBudget::default())))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decompose);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! GeoHash microbenchmarks: point encoding (every 2dsphere index insert)
+//! and query-rectangle covering (every `$geoWithin` plan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_geo::{cells_to_ranges, cover_rect, GeoHash, GeoPoint};
+use sts_workload::queries::QuerySize;
+
+fn bench_encode(c: &mut Criterion) {
+    c.bench_function("geohash_encode_26bit", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let lon = -180.0 + (x % 360_000) as f64 / 1_000.0;
+            let lat = -90.0 + ((x >> 32) % 180_000) as f64 / 1_000.0;
+            black_box(GeoHash::encode(GeoPoint::new(lon, lat), 26))
+        })
+    });
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geohash_covering");
+    for size in [QuerySize::Small, QuerySize::Big] {
+        let rect = size.rect();
+        for budget in [20usize, 128] {
+            g.bench_function(format!("{}_cells{budget}", size.label()), |b| {
+                b.iter(|| {
+                    let cells = cover_rect(&rect, 26, budget);
+                    black_box(cells_to_ranges(&cells, 26))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_covering);
+criterion_main!(benches);

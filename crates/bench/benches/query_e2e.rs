@@ -1,0 +1,32 @@
+//! End-to-end query latency per approach on a small preloaded cluster —
+//! the Criterion-grade counterpart of Figures 5–8's time panels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_bench::{build_store, dataset_records, dataset_start, Dataset, HarnessConfig};
+use sts_core::Approach;
+use sts_workload::queries::{paper_query, QuerySize};
+
+fn bench_queries(c: &mut Criterion) {
+    let cfg = HarnessConfig {
+        scale: 0.002, // keep criterion iterations snappy
+        num_shards: 4,
+        ..Default::default()
+    };
+    let records = dataset_records(Dataset::R, &cfg, 1);
+    let mut g = c.benchmark_group("query_e2e_R");
+    g.sample_size(20);
+    for approach in Approach::EXTENDED {
+        let store = build_store(approach, Dataset::R, &records, &cfg, false);
+        for (size, n) in [(QuerySize::Small, 2), (QuerySize::Big, 2)] {
+            let q = paper_query(size, n, dataset_start());
+            g.bench_function(format!("{}/{}{n}", approach.name(), size.label()), |b| {
+                b.iter(|| black_box(store.st_query(&q)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! snappy-lite compressor throughput on BSON-like blocks (the Table 6
+//! size model's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use sts_document::encode_document;
+use sts_storage::snappy_lite;
+use sts_workload::fleet::{generate, FleetConfig};
+
+fn block() -> Vec<u8> {
+    let records = generate(&FleetConfig {
+        records: 64,
+        vehicles: 4,
+        ..Default::default()
+    });
+    let mut buf = Vec::new();
+    for r in &records {
+        buf.extend_from_slice(&encode_document(&r.to_document()));
+    }
+    buf
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let input = block();
+    let compressed = snappy_lite::compress(&input);
+    eprintln!(
+        "# snappy-lite ratio on fleet block: {:.3} ({} -> {})",
+        compressed.len() as f64 / input.len() as f64,
+        input.len(),
+        compressed.len()
+    );
+    let mut g = c.benchmark_group("snappy_lite");
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.bench_function("compress_fleet_block", |b| {
+        b.iter(|| black_box(snappy_lite::compress(&input)))
+    });
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.bench_function("decompress_fleet_block", |b| {
+        b.iter(|| black_box(snappy_lite::decompress(&compressed).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Regenerate Figures 5–14 of the paper.
+//!
+//! ```text
+//! cargo run -p sts-bench --release --bin figures            # everything
+//! cargo run -p sts-bench --release --bin figures -- --fig 6 # one figure
+//! cargo run -p sts-bench --release --bin figures -- --scale 0.005
+//! ```
+//!
+//! Figure map (panels a–d = max keys / max docs / nodes / time):
+//! 5–8: default sharding (small/big × R/S), 9–12: zones,
+//! 13: scalability (Q₂ᵇ on R₁–R₄), 14: total index sizes.
+
+use serde::Serialize;
+use sts_bench::{
+    build_store, dataset_records, render_table, run_query_ladder, save_json, Dataset,
+    HarnessConfig, Measurement,
+};
+use sts_core::Approach;
+use sts_workload::queries::{paper_query, QuerySize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = HarnessConfig::from_args(&args);
+    let fig: Option<u32> = rest
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    eprintln!(
+        "# figures harness: scale={} shards={} seed={} (paper volumes × scale)",
+        cfg.scale, cfg.num_shards, cfg.seed
+    );
+
+    let wants = |f: u32| fig.is_none() || fig == Some(f);
+    let mut index_sizes: Vec<IndexSizeRow> = Vec::new();
+
+    // Figures 5–12 share four (dataset, zones) configurations.
+    let configs: [(Dataset, bool, u32, u32); 4] = [
+        (Dataset::R, false, 5, 6),
+        (Dataset::S, false, 7, 8),
+        (Dataset::R, true, 9, 10),
+        (Dataset::S, true, 11, 12),
+    ];
+    for (dataset, zones, small_fig, big_fig) in configs {
+        let need_for_14 = fig.is_none() || fig == Some(14);
+        if !(wants(small_fig) || wants(big_fig) || need_for_14) {
+            continue;
+        }
+        run_config(
+            dataset,
+            zones,
+            small_fig,
+            big_fig,
+            &cfg,
+            wants(small_fig) || wants(big_fig),
+            &mut index_sizes,
+        );
+    }
+
+    if wants(13) {
+        fig13_scalability(&cfg);
+    }
+    if wants(14) {
+        fig14_index_sizes(&index_sizes);
+    }
+}
+
+/// Load one (dataset, zones) configuration for every relevant approach,
+/// run the 8-query workload, print the two figures and harvest index
+/// sizes for Fig. 14.
+fn run_config(
+    dataset: Dataset,
+    zones: bool,
+    small_fig: u32,
+    big_fig: u32,
+    cfg: &HarnessConfig,
+    print_figs: bool,
+    index_sizes: &mut Vec<IndexSizeRow>,
+) {
+    let records = dataset_records(dataset, cfg, 1);
+    eprintln!(
+        "# {} {}: {} records",
+        dataset.label(),
+        if zones { "zones" } else { "default" },
+        records.len()
+    );
+    // §5.3 drops hil* ("we only use hil since we did not observe
+    // significant performance improvements").
+    let approaches: &[Approach] = if zones {
+        &[Approach::BslST, Approach::BslTS, Approach::Hil]
+    } else {
+        &Approach::ALL
+    };
+    let mut small_rows: Vec<Measurement> = Vec::new();
+    let mut big_rows: Vec<Measurement> = Vec::new();
+    for &approach in approaches {
+        let store = build_store(approach, dataset, &records, cfg, zones);
+        if print_figs {
+            small_rows.extend(run_query_ladder(&store, QuerySize::Small, cfg));
+            big_rows.extend(run_query_ladder(&store, QuerySize::Big, cfg));
+        }
+        for (index, report) in store.index_sizes() {
+            index_sizes.push(IndexSizeRow {
+                dataset: dataset.label().to_string(),
+                zones,
+                approach: approach.name().to_string(),
+                index,
+                bytes: report.total_compressed(),
+                entries: report.entries,
+            });
+        }
+    }
+    if print_figs {
+        let mode = if zones { "zone ranges" } else { "default sharding" };
+        let small_title =
+            format!("Figure {small_fig}: {mode}, small queries, {} data", dataset.label());
+        let big_title =
+            format!("Figure {big_fig}: {mode}, big queries, {} data", dataset.label());
+        print!("{}", render_table(&small_title, &small_rows));
+        print!("{}", render_table(&big_title, &big_rows));
+        save_json(&format!("fig{small_fig}"), &small_rows);
+        save_json(&format!("fig{big_fig}"), &big_rows);
+    }
+}
+
+/// Fig. 13: Q₂ᵇ over R₁–R₄ for bslST / bslTS / hil.
+fn fig13_scalability(cfg: &HarnessConfig) {
+    let mut rows: Vec<Measurement> = Vec::new();
+    for factor in 1..=4u32 {
+        let records = dataset_records(Dataset::R, cfg, factor);
+        eprintln!("# R{factor}: {} records", records.len());
+        for approach in [Approach::BslST, Approach::BslTS, Approach::Hil] {
+            let store = build_store(approach, Dataset::R, &records, cfg, false);
+            let q = paper_query(QuerySize::Big, 2, sts_bench::dataset_start());
+            let mut m = sts_bench::measure(&store, &format!("R{factor}/Qb2"), &q, cfg);
+            m.query = format!("R{factor}");
+            rows.push(m);
+        }
+    }
+    print!(
+        "{}",
+        render_table("Figure 13: scalability, Qb2 on R1–R4 (default sharding)", &rows)
+    );
+    save_json("fig13", &rows);
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct IndexSizeRow {
+    dataset: String,
+    zones: bool,
+    approach: String,
+    index: String,
+    bytes: u64,
+    entries: u64,
+}
+
+/// Fig. 14: total index sizes per approach, R/S × default/zones.
+fn fig14_index_sizes(rows: &[IndexSizeRow]) {
+    println!("\n== Figure 14: total size of indexes (prefix-compressed bytes) ==");
+    for (dataset, zones, panel) in [
+        ("R", false, "a: R, default"),
+        ("R", true, "b: R, zones"),
+        ("S", false, "c: S, default"),
+        ("S", true, "d: S, zones"),
+    ] {
+        println!("-- panel {panel} --");
+        println!(
+            "{:<8} {:<28} {:>14} {:>12}",
+            "approach", "index", "bytes", "entries"
+        );
+        let mut totals: Vec<(String, u64)> = Vec::new();
+        for r in rows.iter().filter(|r| r.dataset == dataset && r.zones == zones) {
+            println!(
+                "{:<8} {:<28} {:>14} {:>12}",
+                r.approach, r.index, r.bytes, r.entries
+            );
+            match totals.iter_mut().find(|(a, _)| *a == r.approach) {
+                Some((_, t)) => *t += r.bytes,
+                None => totals.push((r.approach.clone(), r.bytes)),
+            }
+        }
+        for (a, t) in totals {
+            println!("{a:<8} {:<28} {t:>14}", "TOTAL");
+        }
+    }
+    save_json("fig14", &rows);
+}

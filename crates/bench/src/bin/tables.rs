@@ -1,0 +1,286 @@
+//! Regenerate Tables 2–8 of the paper.
+//!
+//! ```text
+//! cargo run -p sts-bench --release --bin tables              # all tables
+//! cargo run -p sts-bench --release --bin tables -- --table 7
+//! ```
+
+use serde::Serialize;
+use sts_bench::{
+    build_store, dataset_mbr, dataset_records, dataset_start, save_json, Dataset, HarnessConfig,
+};
+use sts_core::{build_filter, Approach, StQuery};
+use sts_curve::{CurveGrid, RangeBudget, PAPER_CURVE_ORDER};
+use sts_document::encoded_size;
+use sts_workload::queries::{paper_query, QuerySize};
+use sts_workload::Record;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = HarnessConfig::from_args(&args);
+    let table: Option<u32> = rest
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    eprintln!(
+        "# tables harness: scale={} shards={} seed={}",
+        cfg.scale, cfg.num_shards, cfg.seed
+    );
+    let wants = |t: u32| table.is_none() || table == Some(t);
+
+    let r_records = dataset_records(Dataset::R, &cfg, 1);
+    let s_records = dataset_records(Dataset::S, &cfg, 1);
+
+    if wants(2) || wants(3) {
+        tables_2_3(&r_records, &s_records);
+    }
+    if wants(4) || wants(5) {
+        tables_4_5(&cfg);
+    }
+    if wants(6) {
+        table_6(&cfg, &r_records, &s_records);
+    }
+    if wants(7) {
+        table_7(&cfg, &r_records, &s_records);
+    }
+    if wants(8) {
+        table_8();
+    }
+}
+
+fn count(records: &[Record], q: &StQuery) -> u64 {
+    records
+        .iter()
+        .filter(|r| q.matches(r.lon, r.lat, r.date))
+        .count() as u64
+}
+
+#[derive(Serialize)]
+struct CountRow {
+    dataset: String,
+    query: String,
+    results: u64,
+}
+
+/// Tables 2 & 3: result counts of the 8 paper queries on R and S.
+fn tables_2_3(r: &[Record], s: &[Record]) {
+    let mut rows = Vec::new();
+    for (t, size) in [(2u32, QuerySize::Small), (3, QuerySize::Big)] {
+        println!("\n== Table {t}: retrieved documents, {} queries ==", size.label());
+        println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "dataset", "Q1", "Q2", "Q3", "Q4");
+        for (label, records) in [("R", r), ("S", s)] {
+            let counts: Vec<u64> = (1..=4)
+                .map(|n| count(records, &paper_query(size, n, dataset_start())))
+                .collect();
+            println!(
+                "{:<8} {:>10} {:>10} {:>10} {:>10}",
+                label, counts[0], counts[1], counts[2], counts[3]
+            );
+            for (n, c) in counts.iter().enumerate() {
+                rows.push(CountRow {
+                    dataset: label.into(),
+                    query: format!("{}{}", size.label(), n + 1),
+                    results: *c,
+                });
+            }
+        }
+    }
+    save_json("table2_3", &rows);
+}
+
+#[derive(Serialize)]
+struct ScaleRow {
+    factor: u32,
+    documents: u64,
+    data_gb: f64,
+    qb2_results: u64,
+}
+
+/// Tables 4 & 5: data set sizes and Q₂ᵇ result counts for R₁–R₄.
+fn tables_4_5(cfg: &HarnessConfig) {
+    let mut rows = Vec::new();
+    let q = paper_query(QuerySize::Big, 2, dataset_start());
+    println!("\n== Table 4 & 5: scale factors R1–R4 ==");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "set", "#docs", "size(GB)", "Qb2 results"
+    );
+    for factor in 1..=4u32 {
+        let records = dataset_records(Dataset::R, cfg, factor);
+        // Store-level size: documents with the hilbertIndex field, as
+        // Table 4 reports the loaded (hil) collection.
+        let grid = CurveGrid::world(PAPER_CURVE_ORDER);
+        let bytes: u64 = records
+            .iter()
+            .map(|r| {
+                let mut d = r.to_document();
+                d.set(
+                    "hilbertIndex",
+                    grid.index_of(sts_geo::GeoPoint::new(r.lon, r.lat)) as i64,
+                );
+                encoded_size(&d) as u64
+            })
+            .sum();
+        let row = ScaleRow {
+            factor,
+            documents: records.len() as u64,
+            data_gb: bytes as f64 / 1e9,
+            qb2_results: count(&records, &q),
+        };
+        println!(
+            "R{:<5} {:>12} {:>12.3} {:>12}",
+            row.factor, row.documents, row.data_gb, row.qb2_results
+        );
+        rows.push(row);
+    }
+    save_json("table4_5", &rows);
+}
+
+#[derive(Serialize)]
+struct SizeRow {
+    dataset: String,
+    approach: String,
+    data_gb: f64,
+    storage_gb: f64,
+}
+
+/// Table 6: stored collection size, bsl vs hil, R and S.
+fn table_6(cfg: &HarnessConfig, r: &[Record], s: &[Record]) {
+    println!("\n== Table 6: data size in the store (GB at current scale) ==");
+    println!(
+        "{:<8} {:<8} {:>12} {:>14}",
+        "dataset", "method", "dataSize", "storageSize"
+    );
+    let mut rows = Vec::new();
+    for (label, dataset, records) in [("R", Dataset::R, r), ("S", Dataset::S, s)] {
+        for approach in [Approach::BslST, Approach::Hil] {
+            let store = build_store(approach, dataset, records, cfg, false);
+            let stats = store.collection_stats();
+            let row = SizeRow {
+                dataset: label.into(),
+                approach: if approach == Approach::BslST {
+                    "bsl".into()
+                } else {
+                    "hil".into()
+                },
+                data_gb: stats.data_bytes as f64 / 1e9,
+                storage_gb: stats.storage_bytes as f64 / 1e9,
+            };
+            println!(
+                "{:<8} {:<8} {:>12.4} {:>14.4}",
+                row.dataset, row.approach, row.data_gb, row.storage_gb
+            );
+            rows.push(row);
+        }
+    }
+    save_json("table6", &rows);
+}
+
+#[derive(Serialize)]
+struct IndexUsageRow {
+    distribution: String,
+    dataset: String,
+    query: String,
+    usage: String,
+}
+
+/// Table 7: which index the optimizer picked per query, bslST approach.
+fn table_7(cfg: &HarnessConfig, r: &[Record], s: &[Record]) {
+    println!("\n== Table 7: index usage, bslST approach ==");
+    println!("  ● compound (location,date)   ○ date index   ◐ mixed across nodes");
+    let mut rows = Vec::new();
+    for (dist, zones) in [("default", false), ("zones", true)] {
+        for (label, dataset, records) in [("R", Dataset::R, r), ("S", Dataset::S, s)] {
+            let store = build_store(Approach::BslST, dataset, records, cfg, zones);
+            for size in [QuerySize::Small, QuerySize::Big] {
+                let mut cells = Vec::new();
+                for n in 1..=4 {
+                    let q = paper_query(size, n, dataset_start());
+                    let (_, report) = store.st_query(&q);
+                    let used: Vec<String> = report
+                        .cluster
+                        .indexes_used()
+                        .into_iter()
+                        .map(|(_, i)| i)
+                        .collect();
+                    let compound = used.iter().filter(|i| i.contains("location")).count();
+                    let glyph = if compound == used.len() {
+                        "●"
+                    } else if compound == 0 {
+                        "○"
+                    } else {
+                        "◐"
+                    };
+                    cells.push(glyph.to_string());
+                    rows.push(IndexUsageRow {
+                        distribution: dist.into(),
+                        dataset: label.into(),
+                        query: format!("{}{n}", size.label()),
+                        usage: glyph.into(),
+                    });
+                }
+                println!(
+                    "{:<8} {:<3} {:<3}  Q1:{} Q2:{} Q3:{} Q4:{}",
+                    dist,
+                    label,
+                    size.label(),
+                    cells[0],
+                    cells[1],
+                    cells[2],
+                    cells[3]
+                );
+            }
+        }
+    }
+    save_json("table7", &rows);
+}
+
+#[derive(Serialize)]
+struct HilbertTimeRow {
+    dataset: String,
+    method: String,
+    query: String,
+    micros: f64,
+}
+
+/// Table 8: average time of the Hilbert range-identification algorithm.
+fn table_8() {
+    println!("\n== Table 8: Hilbert range decomposition time (µs; paper reports ms at full precision) ==");
+    println!("{:<8} {:<6} {:>10} {:>10}", "dataset", "method", "Qs(µs)", "Qb(µs)");
+    let reps = 200u32;
+    let mut rows = Vec::new();
+    for (label, dataset) in [("R", Dataset::R), ("S", Dataset::S)] {
+        for (method, grid) in [
+            ("hil", CurveGrid::world(PAPER_CURVE_ORDER)),
+            (
+                "hil*",
+                CurveGrid::fitted(dataset_mbr(dataset), PAPER_CURVE_ORDER),
+            ),
+        ] {
+            let mut cells = Vec::new();
+            for size in [QuerySize::Small, QuerySize::Big] {
+                let q = paper_query(size, 2, dataset_start());
+                let start = Instant::now();
+                for _ in 0..reps {
+                    let (f, _, _) = build_filter(&q, Some(&grid), RangeBudget::default());
+                    std::hint::black_box(f);
+                }
+                let us = start.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+                cells.push(us);
+                rows.push(HilbertTimeRow {
+                    dataset: label.into(),
+                    method: method.into(),
+                    query: size.label().into(),
+                    micros: us,
+                });
+            }
+            println!(
+                "{:<8} {:<6} {:>10.2} {:>10.2}",
+                label, method, cells[0], cells[1]
+            );
+        }
+    }
+    save_json("table8", &rows);
+}

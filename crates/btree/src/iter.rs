@@ -1,0 +1,211 @@
+//! Range iteration with keys-examined accounting.
+
+use crate::node::{Internal, Leaf, Node};
+use crate::KeyBound;
+use std::ops::Bound;
+
+/// Iterator over `(key, record id)` entries within a key range.
+///
+/// Tracks [`keys_examined`](RangeIter::keys_examined): every index entry
+/// the scan *touched*, including the out-of-bounds entry that terminates
+/// the scan — matching MongoDB's `totalKeysExamined` semantics, which is
+/// the metric plotted in Figs. 5–13 of the paper.
+pub struct RangeIter<'a> {
+    /// Internal nodes with the index of the next child to descend into.
+    stack: Vec<(&'a Internal, usize)>,
+    leaf: Option<(&'a Leaf, usize)>,
+    upper: KeyBound,
+    done: bool,
+    keys_examined: u64,
+}
+
+impl<'a> RangeIter<'a> {
+    pub(crate) fn new(root: &'a Node, lower: KeyBound, upper: KeyBound) -> Self {
+        let mut it = RangeIter {
+            stack: Vec::new(),
+            leaf: None,
+            upper,
+            done: false,
+            keys_examined: 0,
+        };
+        it.descend_for_lower(root, &lower);
+        it
+    }
+
+    /// Position the cursor at the first entry >= / > the lower bound.
+    fn descend_for_lower(&mut self, root: &'a Node, lower: &KeyBound) {
+        let mut node = root;
+        loop {
+            match node {
+                Node::Internal(i) => {
+                    let idx = match lower {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) | Bound::Excluded(k) => i.child_for(k),
+                    };
+                    self.stack.push((i, idx + 1));
+                    node = &i.children[idx];
+                }
+                Node::Leaf(l) => {
+                    let idx = match lower {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => l.entries.partition_point(|(e, _)| e.as_ref() < &k[..]),
+                        Bound::Excluded(k) => {
+                            l.entries.partition_point(|(e, _)| e.as_ref() <= &k[..])
+                        }
+                    };
+                    self.leaf = Some((l, idx));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Advance to the next leaf in key order (after the current one).
+    fn next_leaf(&mut self) -> bool {
+        while let Some((internal, idx)) = self.stack.pop() {
+            if idx < internal.children.len() {
+                self.stack.push((internal, idx + 1));
+                // Descend along the leftmost path.
+                let mut node = &internal.children[idx];
+                loop {
+                    match node {
+                        Node::Internal(i) => {
+                            self.stack.push((i, 1));
+                            node = &i.children[0];
+                        }
+                        Node::Leaf(l) => {
+                            self.leaf = Some((l, 0));
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn within_upper(&self, key: &[u8]) -> bool {
+        match &self.upper {
+            Bound::Unbounded => true,
+            Bound::Included(u) => key <= &u[..],
+            Bound::Excluded(u) => key < &u[..],
+        }
+    }
+
+    /// Index entries touched so far (including the terminating one).
+    pub fn keys_examined(&self) -> u64 {
+        self.keys_examined
+    }
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (&'a [u8], u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let (leaf, idx) = self.leaf?;
+            if idx < leaf.entries.len() {
+                let (k, v) = &leaf.entries[idx];
+                self.keys_examined += 1;
+                if !self.within_upper(k) {
+                    self.done = true;
+                    return None;
+                }
+                self.leaf = Some((leaf, idx + 1));
+                return Some((k.as_ref(), *v));
+            }
+            if !self.next_leaf() {
+                self.done = true;
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BTree;
+    use std::ops::Bound;
+
+    fn key(n: u64) -> Vec<u8> {
+        n.to_be_bytes().to_vec()
+    }
+
+    fn tree(n: u64) -> BTree {
+        let mut t = BTree::new();
+        for i in 0..n {
+            t.insert(&key(i), i);
+        }
+        t
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let t = tree(1_000);
+        let vals: Vec<u64> = t.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keys_examined_counts_terminator() {
+        let t = tree(1_000);
+        let mut it = t.range(Bound::Included(key(10)), Bound::Excluded(key(20)));
+        let n = it.by_ref().count();
+        assert_eq!(n, 10);
+        // 10 in-range entries + key 20 inspected to terminate.
+        assert_eq!(it.keys_examined(), 11);
+    }
+
+    #[test]
+    fn keys_examined_without_terminator_at_tree_end() {
+        let t = tree(100);
+        let mut it = t.range(Bound::Included(key(90)), Bound::Unbounded);
+        let n = it.by_ref().count();
+        assert_eq!(n, 10);
+        assert_eq!(it.keys_examined(), 10);
+    }
+
+    #[test]
+    fn empty_tree_scan() {
+        let t = BTree::new();
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn excluded_lower_bound() {
+        let t = tree(100);
+        let got: Vec<u64> = t
+            .range(Bound::Excluded(key(5)), Bound::Included(key(8)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn scan_crossing_many_leaves() {
+        let t = tree(10_000);
+        let got: Vec<u64> = t
+            .range(Bound::Included(key(4_000)), Bound::Excluded(key(6_000)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got.len(), 2_000);
+        assert_eq!(got[0], 4_000);
+        assert_eq!(*got.last().unwrap(), 5_999);
+    }
+
+    #[test]
+    fn bounds_between_keys() {
+        let mut t = BTree::new();
+        for i in (0..100u64).map(|i| i * 10) {
+            t.insert(&key(i), i);
+        }
+        let got: Vec<u64> = t
+            .range(Bound::Included(key(15)), Bound::Included(key(35)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![20, 30]);
+    }
+}

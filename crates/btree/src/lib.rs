@@ -1,0 +1,51 @@
+//! A B+tree over byte-string keys, the store's only index structure.
+//!
+//! The paper's premise (§1, Table 1) is that NoSQL stores index
+//! *everything* — including space-filling-curve values — through ordinary
+//! B-trees. This crate provides that structure with the bookkeeping the
+//! evaluation needs:
+//!
+//! * range scans that report **keys examined** (MongoDB's
+//!   `totalKeysExamined` explain metric),
+//! * cheap **range cardinality estimation** for the query planner,
+//! * **prefix-compressed size** accounting in the style of WiredTiger's
+//!   index block compression (drives Fig. 14),
+//! * full delete support (chunk migrations remove documents from shard
+//!   indexes).
+//!
+//! Keys are arbitrary byte strings (memcomparable encodings from
+//! `sts-encoding`); values are `u64` record ids.
+//!
+//! # Example
+//!
+//! ```
+//! use sts_btree::BTree;
+//! use std::ops::Bound;
+//!
+//! let mut t = BTree::new();
+//! for i in 0..100u64 {
+//!     t.insert(&i.to_be_bytes(), i);
+//! }
+//! let mut scan = t.range(
+//!     Bound::Included(10u64.to_be_bytes().to_vec()),
+//!     Bound::Excluded(20u64.to_be_bytes().to_vec()),
+//! );
+//! let hits: Vec<u64> = scan.by_ref().map(|(_, v)| v).collect();
+//! assert_eq!(hits, (10..20).collect::<Vec<_>>());
+//! // `keys_examined` counts the terminating probe too, like MongoDB.
+//! assert_eq!(scan.keys_examined(), 11);
+//! ```
+
+mod iter;
+mod node;
+mod size;
+mod tree;
+
+pub use iter::RangeIter;
+pub use node::{BRANCH_FACTOR, LEAF_CAPACITY};
+pub use size::SizeReport;
+pub use tree::BTree;
+
+/// Inclusive/exclusive/unbounded endpoint for range scans, by-value so
+/// callers can hand over freshly-built key buffers.
+pub type KeyBound = std::ops::Bound<Vec<u8>>;

@@ -1,0 +1,71 @@
+//! Tree nodes.
+
+/// Maximum entries in a leaf before it splits.
+pub const LEAF_CAPACITY: usize = 64;
+/// Maximum children of an internal node before it splits.
+pub const BRANCH_FACTOR: usize = 64;
+
+/// Minimum fill after deletions (half-full invariant, root exempt).
+pub(crate) const LEAF_MIN: usize = LEAF_CAPACITY / 2;
+pub(crate) const BRANCH_MIN: usize = BRANCH_FACTOR / 2;
+
+pub(crate) enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+/// A leaf holds sorted `(key, record id)` entries.
+#[derive(Default)]
+pub(crate) struct Leaf {
+    pub entries: Vec<(Box<[u8]>, u64)>,
+}
+
+/// An internal node: `keys[i]` separates `children[i]` (strictly below)
+/// from `children[i+1]` (at or above).
+pub(crate) struct Internal {
+    pub keys: Vec<Box<[u8]>>,
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    pub fn new_leaf() -> Node {
+        Node::Leaf(Leaf::default())
+    }
+
+    /// Number of entries in this subtree (walks the tree; used by the
+    /// invariant checker, not by hot paths).
+    pub fn count(&self) -> usize {
+        match self {
+            Node::Leaf(l) => l.entries.len(),
+            Node::Internal(i) => i.children.iter().map(Node::count).sum(),
+        }
+    }
+
+    /// First key in this subtree, if any.
+    pub fn first_key(&self) -> Option<&[u8]> {
+        match self {
+            Node::Leaf(l) => l.entries.first().map(|(k, _)| k.as_ref()),
+            Node::Internal(i) => i.children.first().and_then(Node::first_key),
+        }
+    }
+
+    /// Last key in this subtree, if any.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        match self {
+            Node::Leaf(l) => l.entries.last().map(|(k, _)| k.as_ref()),
+            Node::Internal(i) => i.children.last().and_then(Node::last_key),
+        }
+    }
+}
+
+impl Internal {
+    /// Index of the child whose subtree may contain `key`.
+    pub fn child_for(&self, key: &[u8]) -> usize {
+        // keys[i] is the smallest key of children[i+1]; pick the last
+        // separator <= key.
+        match self.keys.binary_search_by(|sep| sep.as_ref().cmp(key)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The B+tree proper: insert, point get, delete with rebalancing, range
+//! scans and cardinality estimation.
+
+use crate::iter::RangeIter;
+use crate::node::{Internal, Leaf, Node, BRANCH_FACTOR, BRANCH_MIN, LEAF_CAPACITY, LEAF_MIN};
+use crate::KeyBound;
+use std::ops::Bound;
+
+/// A B+tree mapping byte-string keys to `u64` record ids.
+pub struct BTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BTree {
+            root: Node::new_leaf(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a lone leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut n = &self.root;
+        while let Node::Internal(i) = n {
+            d += 1;
+            n = &i.children[0];
+        }
+        d
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        let (old, split) = insert_rec(&mut self.root, key, value);
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+            self.root = Node::Internal(Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal(i) => node = &i.children[i.child_for(key)],
+                Node::Leaf(l) => {
+                    return l
+                        .entries
+                        .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+                        .ok()
+                        .map(|idx| l.entries[idx].1)
+                }
+            }
+        }
+    }
+
+    /// Remove a key, returning its value if present. Nodes are rebalanced
+    /// (borrow from siblings, else merge) to keep the half-full invariant.
+    pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        let removed = remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that shrank to a single child.
+        if let Node::Internal(i) = &mut self.root {
+            if i.children.len() == 1 {
+                let child = i.children.pop().unwrap();
+                self.root = child;
+            }
+        }
+        removed
+    }
+
+    /// Range scan between the given bounds.
+    pub fn range(&self, lower: KeyBound, upper: KeyBound) -> RangeIter<'_> {
+        RangeIter::new(&self.root, lower, upper)
+    }
+
+    /// Full scan in key order.
+    pub fn iter(&self) -> RangeIter<'_> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Smallest key, if any.
+    pub fn first_key(&self) -> Option<&[u8]> {
+        self.root.first_key()
+    }
+
+    /// Largest key, if any.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        self.root.last_key()
+    }
+
+    /// Estimate the number of entries in `[lower, upper]` without scanning.
+    ///
+    /// Uses fractional tree descent (like MongoDB's plan ranking samples
+    /// index bounds): accurate to roughly one node's worth of entries at
+    /// each level, which is all a planner needs for choosing between plans
+    /// that differ by orders of magnitude.
+    pub fn estimate_range(&self, lower: &KeyBound, upper: &KeyBound) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let lo = match lower {
+            Bound::Unbounded => 0.0,
+            Bound::Included(k) | Bound::Excluded(k) => self.position_estimate(k),
+        };
+        let hi = match upper {
+            Bound::Unbounded => 1.0,
+            Bound::Included(k) | Bound::Excluded(k) => self.position_estimate(k),
+        };
+        (((hi - lo).max(0.0)) * self.len as f64).round() as u64
+    }
+
+    /// Fraction of entries strictly before `key`, estimated structurally.
+    fn position_estimate(&self, key: &[u8]) -> f64 {
+        let mut node = &self.root;
+        let mut lo = 0.0f64;
+        let mut width = 1.0f64;
+        loop {
+            match node {
+                Node::Internal(i) => {
+                    let idx = i.child_for(key);
+                    width /= i.children.len() as f64;
+                    lo += idx as f64 * width;
+                    node = &i.children[idx];
+                }
+                Node::Leaf(l) => {
+                    if l.entries.is_empty() {
+                        return lo;
+                    }
+                    let idx = l.entries.partition_point(|(k, _)| k.as_ref() < key);
+                    return lo + width * idx as f64 / l.entries.len() as f64;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Verify structural invariants; panics on violation. Test-support.
+    pub fn check_invariants(&self) {
+        fn walk(node: &Node, depth: usize, leaf_depth: &mut Option<usize>, is_root: bool) {
+            match node {
+                Node::Leaf(l) => {
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "uneven leaf depth"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    assert!(l.entries.len() <= LEAF_CAPACITY, "overfull leaf");
+                    if !is_root {
+                        assert!(l.entries.len() >= LEAF_MIN, "underfull leaf");
+                    }
+                    assert!(
+                        l.entries.windows(2).all(|w| w[0].0 < w[1].0),
+                        "leaf keys out of order"
+                    );
+                }
+                Node::Internal(i) => {
+                    assert_eq!(i.keys.len() + 1, i.children.len(), "key/child mismatch");
+                    assert!(i.children.len() <= BRANCH_FACTOR, "overfull internal");
+                    if !is_root {
+                        assert!(i.children.len() >= BRANCH_MIN, "underfull internal");
+                    } else {
+                        assert!(i.children.len() >= 2, "degenerate root");
+                    }
+                    assert!(
+                        i.keys.windows(2).all(|w| w[0] < w[1]),
+                        "separators out of order"
+                    );
+                    for (idx, child) in i.children.iter().enumerate() {
+                        if idx > 0 {
+                            let sep = i.keys[idx - 1].as_ref();
+                            assert!(
+                                child.first_key().is_none_or(|k| k >= sep),
+                                "child below separator"
+                            );
+                        }
+                        if idx < i.keys.len() {
+                            let sep = i.keys[idx].as_ref();
+                            assert!(
+                                child.last_key().is_none_or(|k| k < sep),
+                                "child above separator"
+                            );
+                        }
+                        walk(child, depth + 1, leaf_depth, false);
+                    }
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(&self.root, 0, &mut leaf_depth, true);
+        assert_eq!(self.root.count(), self.len, "len mismatch");
+    }
+}
+
+/// Result of a recursive insert: the replaced value (if any) and a
+/// `(separator, right node)` pair when the child split.
+type InsertOutcome = (Option<u64>, Option<(Box<[u8]>, Node)>);
+
+fn insert_rec(node: &mut Node, key: &[u8], value: u64) -> InsertOutcome {
+    match node {
+        Node::Leaf(leaf) => {
+            match leaf.entries.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                Ok(idx) => {
+                    let old = std::mem::replace(&mut leaf.entries[idx].1, value);
+                    (Some(old), None)
+                }
+                Err(idx) => {
+                    leaf.entries.insert(idx, (key.into(), value));
+                    if leaf.entries.len() > LEAF_CAPACITY {
+                        let right_entries = leaf.entries.split_off(leaf.entries.len() / 2);
+                        let sep = right_entries[0].0.clone();
+                        let right = Node::Leaf(Leaf {
+                            entries: right_entries,
+                        });
+                        (None, Some((sep, right)))
+                    } else {
+                        (None, None)
+                    }
+                }
+            }
+        }
+        Node::Internal(internal) => {
+            let idx = internal.child_for(key);
+            let (old, split) = insert_rec(&mut internal.children[idx], key, value);
+            if let Some((sep, right)) = split {
+                internal.keys.insert(idx, sep);
+                internal.children.insert(idx + 1, right);
+                if internal.children.len() > BRANCH_FACTOR {
+                    let mid = internal.children.len() / 2;
+                    // keys[mid-1] is promoted; right takes keys[mid..].
+                    // Left keeps children[..mid] and keys[..mid-1]; the
+                    // right node takes children[mid..] and keys[mid..];
+                    // keys[mid-1] is promoted to the parent.
+                    let right_children = internal.children.split_off(mid);
+                    let right_keys = internal.keys.split_off(mid);
+                    let promoted = internal.keys.pop().unwrap();
+                    let right = Node::Internal(Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    });
+                    return (old, Some((promoted, right)));
+                }
+            }
+            (old, None)
+        }
+    }
+}
+
+fn remove_rec(node: &mut Node, key: &[u8]) -> Option<u64> {
+    match node {
+        Node::Leaf(leaf) => {
+            let idx = leaf
+                .entries
+                .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+                .ok()?;
+            Some(leaf.entries.remove(idx).1)
+        }
+        Node::Internal(internal) => {
+            let idx = internal.child_for(key);
+            let removed = remove_rec(&mut internal.children[idx], key)?;
+            if is_underfull(&internal.children[idx]) {
+                fix_underflow(internal, idx);
+            }
+            Some(removed)
+        }
+    }
+}
+
+fn is_underfull(node: &Node) -> bool {
+    match node {
+        Node::Leaf(l) => l.entries.len() < LEAF_MIN,
+        Node::Internal(i) => i.children.len() < BRANCH_MIN,
+    }
+}
+
+fn can_lend(node: &Node) -> bool {
+    match node {
+        Node::Leaf(l) => l.entries.len() > LEAF_MIN,
+        Node::Internal(i) => i.children.len() > BRANCH_MIN,
+    }
+}
+
+/// Restore the half-full invariant of `parent.children[idx]` by borrowing
+/// from a sibling or merging with one.
+fn fix_underflow(parent: &mut Internal, idx: usize) {
+    // Try borrowing from the left sibling.
+    if idx > 0 && can_lend(&parent.children[idx - 1]) {
+        let (left_slice, right_slice) = parent.children.split_at_mut(idx);
+        let left = left_slice.last_mut().unwrap();
+        let cur = &mut right_slice[0];
+        match (left, cur) {
+            (Node::Leaf(l), Node::Leaf(c)) => {
+                let moved = l.entries.pop().unwrap();
+                parent.keys[idx - 1] = moved.0.clone();
+                c.entries.insert(0, moved);
+            }
+            (Node::Internal(l), Node::Internal(c)) => {
+                let child = l.children.pop().unwrap();
+                let sep = l.keys.pop().unwrap();
+                let old_sep = std::mem::replace(&mut parent.keys[idx - 1], sep);
+                c.keys.insert(0, old_sep);
+                c.children.insert(0, child);
+            }
+            _ => unreachable!("siblings at same depth share node kind"),
+        }
+        return;
+    }
+    // Try borrowing from the right sibling.
+    if idx + 1 < parent.children.len() && can_lend(&parent.children[idx + 1]) {
+        let (left_slice, right_slice) = parent.children.split_at_mut(idx + 1);
+        let cur = left_slice.last_mut().unwrap();
+        let right = &mut right_slice[0];
+        match (cur, right) {
+            (Node::Leaf(c), Node::Leaf(r)) => {
+                let moved = r.entries.remove(0);
+                c.entries.push(moved);
+                parent.keys[idx] = r.entries[0].0.clone();
+            }
+            (Node::Internal(c), Node::Internal(r)) => {
+                let child = r.children.remove(0);
+                let sep = r.keys.remove(0);
+                let old_sep = std::mem::replace(&mut parent.keys[idx], sep);
+                c.keys.push(old_sep);
+                c.children.push(child);
+            }
+            _ => unreachable!("siblings at same depth share node kind"),
+        }
+        return;
+    }
+    // Merge with a sibling (prefer left).
+    let merge_left_idx = if idx > 0 { idx - 1 } else { idx };
+    let sep = parent.keys.remove(merge_left_idx);
+    let right_node = parent.children.remove(merge_left_idx + 1);
+    match (&mut parent.children[merge_left_idx], right_node) {
+        (Node::Leaf(l), Node::Leaf(mut r)) => {
+            l.entries.append(&mut r.entries);
+        }
+        (Node::Internal(l), Node::Internal(mut r)) => {
+            l.keys.push(sep);
+            l.keys.append(&mut r.keys);
+            l.children.append(&mut r.children);
+        }
+        _ => unreachable!("siblings at same depth share node kind"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn key(n: u64) -> Vec<u8> {
+        n.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(&key(5), 50), None);
+        assert_eq!(t.insert(&key(5), 51), Some(50));
+        assert_eq!(t.get(&key(5)), Some(51));
+        assert_eq!(t.get(&key(6)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bulk_insert_ascending_and_descending() {
+        for rev in [false, true] {
+            let mut t = BTree::new();
+            let mut order: Vec<u64> = (0..10_000).collect();
+            if rev {
+                order.reverse();
+            }
+            for i in order {
+                t.insert(&key(i), i);
+            }
+            t.check_invariants();
+            assert_eq!(t.len(), 10_000);
+            assert!(t.depth() >= 2);
+            for i in (0..10_000).step_by(97) {
+                assert_eq!(t.get(&key(i)), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_everything_random_order() {
+        let mut t = BTree::new();
+        let n = 5_000u64;
+        for i in 0..n {
+            t.insert(&key(i), i);
+        }
+        let mut order: Vec<u64> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        order.shuffle(&mut rng);
+        for (step, i) in order.iter().enumerate() {
+            assert_eq!(t.remove(&key(*i)), Some(*i));
+            if step % 512 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+        assert_eq!(t.remove(&key(1)), None);
+    }
+
+    #[test]
+    fn range_scan_matches_model() {
+        let mut t = BTree::new();
+        let mut model = BTreeMap::new();
+        for i in (0..2_000u64).step_by(3) {
+            t.insert(&key(i), i);
+            model.insert(key(i), i);
+        }
+        let lo = key(100);
+        let hi = key(1_000);
+        let got: Vec<u64> = t
+            .range(
+                Bound::Included(lo.clone()),
+                Bound::Excluded(hi.clone()),
+            )
+            .map(|(_, v)| v)
+            .collect();
+        let want: Vec<u64> = model
+            .range::<Vec<u8>, _>((Bound::Included(&lo), Bound::Excluded(&hi)))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn estimate_is_order_of_magnitude_correct() {
+        let mut t = BTree::new();
+        for i in 0..50_000u64 {
+            t.insert(&key(i), i);
+        }
+        let est = t.estimate_range(
+            &Bound::Included(key(10_000)),
+            &Bound::Excluded(key(20_000)),
+        );
+        let exact = 10_000f64;
+        assert!(
+            (est as f64) > exact * 0.5 && (est as f64) < exact * 2.0,
+            "estimate {est} too far from {exact}"
+        );
+        // Empty range estimates near zero.
+        let est0 = t.estimate_range(&Bound::Included(key(60_000)), &Bound::Unbounded);
+        assert!(est0 < 500, "{est0}");
+    }
+
+    #[test]
+    fn first_last_depth() {
+        let mut t = BTree::new();
+        assert_eq!(t.first_key(), None);
+        for i in [5u64, 1, 9, 3] {
+            t.insert(&key(i), i);
+        }
+        assert_eq!(t.first_key(), Some(&key(1)[..]));
+        assert_eq!(t.last_key(), Some(&key(9)[..]));
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        let mut t = BTree::new();
+        let keys: Vec<Vec<u8>> = (0..1_000)
+            .map(|i| format!("k{:0width$}", i, width = (i % 7) + 3).into_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        t.check_invariants();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        let scanned: Vec<Vec<u8>> = t.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(scanned, sorted);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_matches_btreemap(ops in proptest::collection::vec(
+            (proptest::num::u16::ANY, proptest::bool::ANY), 1..400)) {
+            let mut t = BTree::new();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (k, is_insert) in ops {
+                let kb = key(u64::from(k) % 128); // force collisions
+                if is_insert {
+                    prop_assert_eq!(t.insert(&kb, u64::from(k)), model.insert(kb, u64::from(k)));
+                } else {
+                    prop_assert_eq!(t.remove(&kb), model.remove(&kb));
+                }
+            }
+            t.check_invariants();
+            prop_assert_eq!(t.len(), model.len());
+            let got: Vec<(Vec<u8>, u64)> = t.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+            let want: Vec<(Vec<u8>, u64)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_range_bounds(lo in 0u64..300, span in 0u64..300,
+                             incl_lo in proptest::bool::ANY, incl_hi in proptest::bool::ANY) {
+            let mut t = BTree::new();
+            let mut model = BTreeMap::new();
+            for i in 0..300u64 {
+                t.insert(&key(i * 2), i); // gaps so bounds fall between keys
+                model.insert(key(i * 2), i);
+            }
+            let hi = lo + span;
+            let lb = if incl_lo { Bound::Included(key(lo)) } else { Bound::Excluded(key(lo)) };
+            let ub = if incl_hi { Bound::Included(key(hi)) } else { Bound::Excluded(key(hi)) };
+            let got: Vec<u64> = t.range(lb.clone(), ub.clone()).map(|(_, v)| v).collect();
+            let lbr = match &lb { Bound::Included(k) => Bound::Included(k.clone()), Bound::Excluded(k) => Bound::Excluded(k.clone()), _ => Bound::Unbounded };
+            let ubr = match &ub { Bound::Included(k) => Bound::Included(k.clone()), Bound::Excluded(k) => Bound::Excluded(k.clone()), _ => Bound::Unbounded };
+            let want: Vec<u64> = model.range((lbr, ubr)).map(|(_, v)| *v).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

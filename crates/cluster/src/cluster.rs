@@ -1,0 +1,551 @@
+//! The cluster: shards + routing table + balancer + mongos front-end.
+
+use crate::chunk::ChunkMap;
+use crate::report::{ClusterQueryReport, ShardExecution};
+use crate::shard::Shard;
+use crate::shardkey::{ShardKey, ShardStrategy};
+use crate::zones::{zones_from_boundaries, Zone};
+use rayon::prelude::*;
+use sts_btree::SizeReport;
+use sts_document::{encoded_size, Document, Value};
+use sts_index::{IndexField, IndexSpec};
+use sts_query::{Filter, Planner, QueryShape};
+use sts_storage::CollectionStats;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Cluster-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of shards (the paper deploys 12).
+    pub num_shards: usize,
+    /// Chunk split threshold in bytes. MongoDB defaults to 64 MB; the
+    /// harness scales this with the data so chunk counts per shard match
+    /// the paper's regime.
+    pub max_chunk_bytes: u64,
+    /// Planner used by every shard (per-shard planning, like MongoDB).
+    pub planner: Planner,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_shards: 12,
+            max_chunk_bytes: 640 * 1024,
+            planner: Planner::default(),
+        }
+    }
+}
+
+/// A sharded collection: the whole deployment the paper evaluates.
+pub struct Cluster {
+    config: ClusterConfig,
+    shard_key: ShardKey,
+    shard_key_index: String,
+    shards: Vec<Shard>,
+    chunks: ChunkMap,
+    zones: Option<Vec<Zone>>,
+    migrations: MigrationStats,
+}
+
+/// Balancer bookkeeping: how much data the cluster has shuffled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Chunk migrations performed.
+    pub chunks_moved: u64,
+    /// Documents physically moved between shards.
+    pub docs_moved: u64,
+}
+
+impl Cluster {
+    /// Create a sharded collection.
+    ///
+    /// `index_specs` are the user-defined indexes created on every shard
+    /// (e.g. the baseline's `(location 2dsphere, date)` compound). If no
+    /// index has the shard-key fields as an ascending prefix, one is
+    /// auto-created — exactly MongoDB's behaviour, and the reason the
+    /// baseline methods carry an extra `date` index (§4.1.2).
+    pub fn new(config: ClusterConfig, shard_key: ShardKey, mut index_specs: Vec<IndexSpec>) -> Self {
+        assert!(config.num_shards >= 1, "need at least one shard");
+        if !index_specs.iter().any(|s| s.name == "_id") {
+            index_specs.insert(0, IndexSpec::single("_id"));
+        }
+        let shard_key_index = match index_specs.iter().find(|s| covers_shard_key(s, &shard_key)) {
+            Some(s) => s.name.clone(),
+            None => {
+                // Auto-create the backing index. Its key space must match
+                // the chunk key space: ascending fields for range keys,
+                // hashed fields for hashed keys (MongoDB does the same).
+                let (name, fields) = match shard_key.strategy {
+                    ShardStrategy::Range => (
+                        shard_key
+                            .fields
+                            .iter()
+                            .map(|f| format!("{f}_1"))
+                            .collect::<Vec<_>>()
+                            .join("_"),
+                        shard_key.fields.iter().map(IndexField::asc).collect::<Vec<_>>(),
+                    ),
+                    ShardStrategy::Hashed => (
+                        format!("{}_hashed", shard_key.fields[0]),
+                        shard_key.fields.iter().map(IndexField::hashed).collect(),
+                    ),
+                };
+                index_specs.push(IndexSpec::new(name.clone(), fields));
+                name
+            }
+        };
+        let shards = (0..config.num_shards)
+            .map(|id| Shard::new(id, &index_specs))
+            .collect();
+        Cluster {
+            config,
+            shard_key,
+            shard_key_index,
+            shards,
+            chunks: ChunkMap::new_single(0),
+            zones: None,
+            migrations: MigrationStats::default(),
+        }
+    }
+
+    /// The shard key.
+    pub fn shard_key(&self) -> &ShardKey {
+        &self.shard_key
+    }
+
+    /// Name of the index backing the shard key.
+    pub fn shard_key_index(&self) -> &str {
+        &self.shard_key_index
+    }
+
+    /// The routing table.
+    pub fn chunk_map(&self) -> &ChunkMap {
+        &self.chunks
+    }
+
+    /// The shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Active zones, if configured.
+    pub fn zones(&self) -> Option<&[Zone]> {
+        self.zones.as_deref()
+    }
+
+    /// Total live documents.
+    pub fn doc_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Route a document and insert it, splitting/balancing as needed.
+    pub fn insert(&mut self, doc: &Document) -> Result<(), String> {
+        let key = self.shard_key.key_bytes(doc);
+        let cidx = self.chunks.route(&key);
+        let shard_id = self.chunks.chunks()[cidx].shard;
+        self.shards[shard_id].insert(doc)?;
+        let size = encoded_size(doc) as u64;
+        {
+            let c = &mut self.chunks.chunks_mut()[cidx];
+            c.bytes += size;
+            c.docs += 1;
+        }
+        let c = &self.chunks.chunks()[cidx];
+        if c.bytes > self.config.max_chunk_bytes && !c.jumbo {
+            self.try_split(cidx);
+            self.balance();
+        }
+        Ok(())
+    }
+
+    /// Bulk insertion in batches (the paper loads with 15k-document
+    /// batches, §A.1 — batching here just amortizes the balancer checks).
+    pub fn bulk_insert<I: IntoIterator<Item = Document>>(&mut self, docs: I) -> Result<u64, String> {
+        let mut n = 0u64;
+        for doc in docs {
+            self.insert(&doc)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Split an oversized chunk at its median shard key.
+    fn try_split(&mut self, cidx: usize) {
+        let (min, max, shard_id) = {
+            let c = &self.chunks.chunks()[cidx];
+            (c.min.clone(), c.max.clone(), c.shard)
+        };
+        let keys = self.shards[shard_id].shard_keys_in_range(
+            &self.shard_key,
+            &self.shard_key_index,
+            &min,
+            max.as_deref(),
+        );
+        if keys.len() < 2 {
+            self.chunks.chunks_mut()[cidx].jumbo = true;
+            return;
+        }
+        let mut split = keys[keys.len() / 2].clone();
+        if split == keys[0] {
+            // Median collides with the lowest key — advance to the first
+            // distinct key; if none exists the chunk is jumbo (§4.1.2).
+            match keys.iter().find(|k| **k > split) {
+                Some(k) => split = k.clone(),
+                None => {
+                    self.chunks.chunks_mut()[cidx].jumbo = true;
+                    return;
+                }
+            }
+        }
+        if split <= min {
+            self.chunks.chunks_mut()[cidx].jumbo = true;
+            return;
+        }
+        self.chunks.split(cidx, split);
+    }
+
+    /// Even out chunk counts (and enforce zone pinning when configured)
+    /// by migrating chunks — physically moving their documents.
+    pub fn balance(&mut self) {
+        // Zone enforcement first: every chunk must live on its zone's shard.
+        if let Some(zones) = self.zones.clone() {
+            loop {
+                let misplaced = self
+                    .chunks
+                    .chunks()
+                    .iter()
+                    .position(|c| {
+                        zones
+                            .iter()
+                            .find(|z| z.contains(&c.min))
+                            .is_some_and(|z| z.shard != c.shard)
+                    });
+                match misplaced {
+                    Some(idx) => {
+                        let dst = zones
+                            .iter()
+                            .find(|z| z.contains(&self.chunks.chunks()[idx].min))
+                            .unwrap()
+                            .shard;
+                        self.migrate(idx, dst);
+                    }
+                    None => break,
+                }
+            }
+            // With one zone per shard there is nothing further to even out.
+            return;
+        }
+        // Default balancer: migrate from the most- to the least-loaded
+        // shard while the spread exceeds one chunk.
+        loop {
+            let counts = self.chunks.counts_per_shard(self.config.num_shards);
+            let (max_shard, &max_count) =
+                counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
+            let (min_shard, &min_count) =
+                counts.iter().enumerate().min_by_key(|(_, c)| **c).unwrap();
+            if max_count <= min_count + 1 {
+                break;
+            }
+            // Move the donor's last chunk (MongoDB picks from the top of
+            // the range; any deterministic choice works for the model).
+            let idx = self
+                .chunks
+                .chunks()
+                .iter()
+                .rposition(|c| c.shard == max_shard)
+                .expect("max shard has chunks");
+            self.migrate(idx, min_shard);
+        }
+    }
+
+    /// Move one chunk's documents to another shard.
+    fn migrate(&mut self, chunk_idx: usize, dst: usize) {
+        let (min, max, src) = {
+            let c = &self.chunks.chunks()[chunk_idx];
+            (c.min.clone(), c.max.clone(), c.shard)
+        };
+        if src == dst {
+            return;
+        }
+        let docs =
+            self.shards[src].extract_range(&self.shard_key_index, &min, max.as_deref());
+        self.migrations.chunks_moved += 1;
+        self.migrations.docs_moved += docs.len() as u64;
+        for d in &docs {
+            self.shards[dst]
+                .insert(d)
+                .expect("migrated documents were already validated");
+        }
+        self.chunks.chunks_mut()[chunk_idx].shard = dst;
+    }
+
+    /// Balancer bookkeeping so far.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migrations
+    }
+
+    /// Compute `$bucketAuto` boundaries over one document field: the
+    /// encoded field values split into `n` near-equal-count buckets
+    /// (§4.2.4's zone construction).
+    pub fn bucket_auto_boundaries(&self, path: &str, n: usize) -> Vec<Vec<u8>> {
+        let mut keys = Vec::with_capacity(self.doc_count() as usize);
+        for shard in &self.shards {
+            for (_, doc) in shard.collection().iter() {
+                let v = doc.get_path(path).cloned().unwrap_or(Value::Null);
+                keys.push(sts_encoding::encode_value(&v));
+            }
+        }
+        crate::zones::bucket_boundaries(keys, n)
+    }
+
+    /// Weighted `$bucketAuto` boundaries over one field: each document
+    /// contributes `weight(doc)` instead of 1 — the workload-aware
+    /// partitioning hook (§6 future work).
+    pub fn bucket_auto_weighted_boundaries(
+        &self,
+        path: &str,
+        n: usize,
+        weight: impl Fn(&sts_document::Document) -> u64,
+    ) -> Vec<Vec<u8>> {
+        let mut pairs = Vec::with_capacity(self.doc_count() as usize);
+        for shard in &self.shards {
+            for (_, doc) in shard.collection().iter() {
+                let v = doc.get_path(path).cloned().unwrap_or(Value::Null);
+                pairs.push((sts_encoding::encode_value(&v), weight(&doc)));
+            }
+        }
+        crate::zones::weighted_bucket_boundaries(pairs, n)
+    }
+
+    /// Define one zone per shard from interior boundaries (in shard-key
+    /// space), split chunks at the boundaries, and migrate data to its
+    /// pinned shard.
+    pub fn apply_zones(&mut self, boundaries: &[Vec<u8>]) {
+        let zones = zones_from_boundaries(boundaries, self.config.num_shards);
+        self.chunks.split_at_boundaries(boundaries);
+        self.zones = Some(zones);
+        self.balance();
+    }
+
+    /// Which shards a query must visit, and whether that's a broadcast.
+    pub fn target_shards(&self, filter: &Filter) -> (Vec<usize>, bool) {
+        let shape = QueryShape::analyze(filter);
+        let lead = &self.shard_key.fields[0];
+        let intervals: Option<Vec<KeyInterval>> = match self.shard_key.strategy {
+            ShardStrategy::Hashed => None, // ranges cannot target hashed keys
+            ShardStrategy::Range => {
+                if let Some((path, ivs)) = &shape.int_intervals {
+                    (path == lead).then(|| {
+                        ivs.iter()
+                            .map(|&(lo, hi)| {
+                                (
+                                    sts_encoding::encode_value(&Value::Int64(lo)),
+                                    Some(upper_bytes(&Value::Int64(hi))),
+                                )
+                            })
+                            .collect()
+                    })
+                } else if let Some(iv) = shape.range_for(lead) {
+                    iv.is_constrained().then(|| {
+                        let lo = iv
+                            .lo
+                            .as_ref()
+                            .map(sts_encoding::encode_value)
+                            .unwrap_or_default();
+                        let hi = iv.hi.as_ref().map(upper_bytes);
+                        vec![(lo, hi)]
+                    })
+                } else {
+                    None
+                }
+            }
+        };
+        match intervals {
+            None => ((0..self.config.num_shards).collect(), true),
+            Some(ivs) => {
+                let mut shards = BTreeSet::new();
+                for (lo, hi) in ivs {
+                    for idx in self.chunks.overlapping(&lo, hi.as_deref()) {
+                        shards.insert(self.chunks.chunks()[idx].shard);
+                    }
+                }
+                (shards.into_iter().collect(), false)
+            }
+        }
+    }
+
+    /// Route, scatter, execute in parallel, gather.
+    pub fn query(&self, filter: &Filter) -> (Vec<Document>, ClusterQueryReport) {
+        let (targets, broadcast) = self.target_shards(filter);
+        let start = Instant::now();
+        let planner = self.config.planner;
+        let mut results: Vec<(usize, Vec<Document>, sts_query::ExecutionStats)> = targets
+            .par_iter()
+            .map(|&sid| {
+                let (docs, stats) =
+                    self.shards[sid].collection().find_with_planner(&planner, filter);
+                (sid, docs, stats)
+            })
+            .collect();
+        results.sort_by_key(|(sid, _, _)| *sid);
+        let mut docs = Vec::new();
+        let mut per_shard = Vec::with_capacity(results.len());
+        for (sid, mut d, stats) in results {
+            docs.append(&mut d);
+            per_shard.push(ShardExecution { shard: sid, stats });
+        }
+        let report = ClusterQueryReport {
+            per_shard,
+            broadcast,
+            wall: start.elapsed(),
+        };
+        (docs, report)
+    }
+
+    /// Route, scatter, execute, shape: every shard returns its own
+    /// sorted top-k, the router merge-shapes the union — distributed
+    /// top-k semantics.
+    pub fn query_with_options(
+        &self,
+        filter: &Filter,
+        options: &sts_query::FindOptions,
+    ) -> (Vec<Document>, ClusterQueryReport) {
+        let (targets, broadcast) = self.target_shards(filter);
+        let start = Instant::now();
+        let planner = self.config.planner;
+        let mut results: Vec<(usize, Vec<Document>, sts_query::ExecutionStats)> = targets
+            .par_iter()
+            .map(|&sid| {
+                let (docs, stats) = {
+                    let coll = self.shards[sid].collection();
+                    let plan = planner.choose(coll, filter);
+                    let (mut docs, stats) =
+                        sts_query::execute_plan(coll, filter, &plan, None, true);
+                    options.shape(&mut docs);
+                    (docs, stats)
+                };
+                (sid, docs, stats)
+            })
+            .collect();
+        results.sort_by_key(|(sid, _, _)| *sid);
+        let mut docs = Vec::new();
+        let mut per_shard = Vec::with_capacity(results.len());
+        for (sid, mut d, stats) in results {
+            docs.append(&mut d);
+            per_shard.push(ShardExecution { shard: sid, stats });
+        }
+        options.shape(&mut docs);
+        let report = ClusterQueryReport {
+            per_shard,
+            broadcast,
+            wall: start.elapsed(),
+        };
+        (docs, report)
+    }
+
+    /// Delete every document matching `filter` across the targeted
+    /// shards, keeping indexes and chunk counters consistent. Returns
+    /// the number removed.
+    pub fn delete(&mut self, filter: &Filter) -> u64 {
+        let (targets, _) = self.target_shards(filter);
+        let mut removed_docs: Vec<Document> = Vec::new();
+        for sid in targets {
+            removed_docs.extend(self.shards[sid].collection_mut().delete_matching(filter));
+        }
+        // Maintain routing metadata: each removed document decrements
+        // its chunk's counters (saturating — counters after splits are
+        // estimates, §3.3).
+        for d in &removed_docs {
+            let key = self.shard_key.key_bytes(d);
+            let cidx = self.chunks.route(&key);
+            let c = &mut self.chunks.chunks_mut()[cidx];
+            c.docs = c.docs.saturating_sub(1);
+            c.bytes = c.bytes.saturating_sub(encoded_size(d) as u64);
+        }
+        removed_docs.len() as u64
+    }
+
+    /// Distributed aggregation: `$match` + `$group` scattered to the
+    /// targeted shards; partials merge exactly at the router.
+    pub fn aggregate(
+        &self,
+        filter: &Filter,
+        spec: &sts_query::GroupBy,
+    ) -> (Vec<Document>, ClusterQueryReport) {
+        let (targets, broadcast) = self.target_shards(filter);
+        let start = Instant::now();
+        let mut results: Vec<(usize, sts_query::PartialAggregation, sts_query::ExecutionStats)> =
+            targets
+                .par_iter()
+                .map(|&sid| {
+                    let (partial, stats) =
+                        sts_query::aggregate_local(self.shards[sid].collection(), filter, spec);
+                    (sid, partial, stats)
+                })
+                .collect();
+        results.sort_by_key(|(sid, _, _)| *sid);
+        let mut merged = sts_query::PartialAggregation::default();
+        let mut per_shard = Vec::with_capacity(results.len());
+        for (sid, partial, stats) in results {
+            merged.merge(partial);
+            per_shard.push(ShardExecution { shard: sid, stats });
+        }
+        let report = ClusterQueryReport {
+            per_shard,
+            broadcast,
+            wall: start.elapsed(),
+        };
+        (merged.finalize(spec), report)
+    }
+
+    /// Aggregated collection statistics (Table 6).
+    pub fn collection_stats(&self) -> CollectionStats {
+        let mut total = CollectionStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Per-index total sizes across shards: `(index name, merged
+    /// report)` — Fig. 14's breakdown.
+    pub fn index_sizes(&self) -> Vec<(String, SizeReport)> {
+        let mut acc: Vec<(String, SizeReport)> = Vec::new();
+        for shard in &self.shards {
+            for (name, report) in shard.index_sizes() {
+                match acc.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, r)) => r.merge(&report),
+                    None => acc.push((name, report)),
+                }
+            }
+        }
+        acc
+    }
+
+    /// Per-shard document counts (load-balance diagnostics).
+    pub fn docs_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::len).collect()
+    }
+}
+
+/// A `[lo, hi)` interval in shard-key byte space (`None` = +∞).
+type KeyInterval = (Vec<u8>, Option<Vec<u8>>);
+
+/// Bytes sorting strictly after every key whose leading value is `v`.
+fn upper_bytes(v: &Value) -> Vec<u8> {
+    let mut b = sts_encoding::encode_value(v);
+    b.push(0xFF);
+    b
+}
+
+/// Does `spec` start with the shard key's fields as plain ascending
+/// columns? (2dsphere fields cannot back a shard key — §4.1.2.)
+fn covers_shard_key(spec: &IndexSpec, key: &ShardKey) -> bool {
+    if key.strategy != ShardStrategy::Range || spec.fields.len() < key.fields.len() {
+        return false;
+    }
+    key.fields.iter().zip(&spec.fields).all(|(path, field)| {
+        field.path == *path && matches!(field.kind, sts_index::FieldKind::Asc)
+    })
+}

@@ -1,0 +1,57 @@
+//! Sharded-cluster simulator: the distributed half of the store.
+//!
+//! Reproduces the MongoDB machinery §3.3 of the paper describes:
+//!
+//! * **shard keys** (range or hashed) extracted from documents,
+//! * **chunks** — contiguous shard-key ranges with a configurable
+//!   maximum size, split at their median key when they overflow (jumbo
+//!   detection included),
+//! * a **balancer** that keeps per-shard chunk counts even by migrating
+//!   chunks (physically moving documents between shards),
+//! * **zones** — operator-pinned shard-key ranges per shard, including a
+//!   `$bucketAuto`-style boundary calculator (§4.2.4),
+//! * the **mongos router**: inserts route by shard key; queries target
+//!   only the shards whose chunks intersect the filter's shard-key
+//!   constraints (else broadcast), execute in parallel, and merge
+//!   results with per-shard explain statistics.
+
+//! # Example
+//!
+//! ```
+//! use sts_cluster::{Cluster, ClusterConfig, ShardKey};
+//! use sts_document::{doc, DateTime};
+//! use sts_query::Filter;
+//!
+//! let mut cluster = Cluster::new(
+//!     ClusterConfig { num_shards: 3, max_chunk_bytes: 8 * 1024, ..Default::default() },
+//!     ShardKey::range(&["hilbertIndex", "date"]),
+//!     vec![], // shard-key index auto-created, like MongoDB
+//! );
+//! for i in 0..500i64 {
+//!     let mut d = doc! {"hilbertIndex" => i % 50, "date" => DateTime::from_millis(i * 1_000)};
+//!     d.ensure_id(i as u32);
+//!     cluster.insert(&d).unwrap();
+//! }
+//! // A shard-key constraint routes to a subset of shards.
+//! let f = Filter::And(vec![
+//!     Filter::gte("hilbertIndex", 10i64),
+//!     Filter::lte("hilbertIndex", 12i64),
+//! ]);
+//! let (docs, report) = cluster.query(&f);
+//! assert_eq!(docs.len(), 30);
+//! assert!(!report.broadcast);
+//! ```
+
+mod chunk;
+mod cluster;
+mod report;
+mod shard;
+mod shardkey;
+mod zones;
+
+pub use chunk::{Chunk, ChunkMap};
+pub use cluster::{Cluster, ClusterConfig, MigrationStats};
+pub use report::{ClusterQueryReport, ShardExecution};
+pub use shard::Shard;
+pub use shardkey::{ShardKey, ShardStrategy};
+pub use zones::{bucket_boundaries, weighted_bucket_boundaries, Zone};

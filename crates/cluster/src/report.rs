@@ -1,0 +1,118 @@
+//! Cluster-level query reports: the paper's four metrics in one place.
+
+use std::time::Duration;
+use sts_query::ExecutionStats;
+
+/// One shard's contribution to a scatter/gather query.
+#[derive(Debug, Clone)]
+pub struct ShardExecution {
+    /// Shard id.
+    pub shard: usize,
+    /// That shard's explain statistics.
+    pub stats: ExecutionStats,
+}
+
+/// The merged result of routing one query through `mongos`.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterQueryReport {
+    /// Per-shard executions, one entry per *targeted* shard.
+    pub per_shard: Vec<ShardExecution>,
+    /// Whether the router had to broadcast (no shard-key constraint).
+    pub broadcast: bool,
+    /// End-to-end wall time of the scatter/gather, including the merge.
+    pub wall: Duration,
+}
+
+impl ClusterQueryReport {
+    /// Number of nodes accessed (§5.1 "Nodes" metric).
+    pub fn nodes(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Maximum keys examined on any node (§5.1 "Keys examined").
+    pub fn max_keys_examined(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.stats.keys_examined)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum documents examined on any node (§5.1 "Documents examined").
+    pub fn max_docs_examined(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.stats.docs_examined)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total matching documents across shards.
+    pub fn n_returned(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.stats.n_returned).sum()
+    }
+
+    /// Sum of keys examined across shards (not a paper metric, but
+    /// useful for total-work comparisons in the ablations).
+    pub fn total_keys_examined(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.stats.keys_examined).sum()
+    }
+
+    /// Names of indexes used per shard (Table 7's observable).
+    pub fn indexes_used(&self) -> Vec<(usize, String)> {
+        self.per_shard
+            .iter()
+            .map(|s| (s.shard, s.stats.index_used.clone()))
+            .collect()
+    }
+
+    /// The slowest shard's execution time (what bounds latency).
+    pub fn max_shard_time(&self) -> Duration {
+        self.per_shard
+            .iter()
+            .map(|s| s.stats.duration)
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(shard: usize, keys: u64, docs: u64, ret: u64) -> ShardExecution {
+        ShardExecution {
+            shard,
+            stats: ExecutionStats {
+                keys_examined: keys,
+                docs_examined: docs,
+                n_returned: ret,
+                completed: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = ClusterQueryReport {
+            per_shard: vec![exec(0, 100, 50, 10), exec(3, 500, 20, 5)],
+            broadcast: false,
+            wall: Duration::from_millis(4),
+        };
+        assert_eq!(r.nodes(), 2);
+        assert_eq!(r.max_keys_examined(), 500);
+        assert_eq!(r.max_docs_examined(), 50);
+        assert_eq!(r.n_returned(), 15);
+        assert_eq!(r.total_keys_examined(), 600);
+        assert_eq!(r.indexes_used().len(), 2);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = ClusterQueryReport::default();
+        assert_eq!(r.nodes(), 0);
+        assert_eq!(r.max_keys_examined(), 0);
+        assert_eq!(r.n_returned(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A shard: one `mongod` holding a slice of the collection.
+
+use crate::shardkey::ShardKey;
+use sts_btree::SizeReport;
+use sts_document::Document;
+use sts_index::{IndexSpec, ScanRange};
+use sts_query::LocalCollection;
+use sts_storage::CollectionStats;
+use std::ops::Bound;
+
+/// One cluster node's data.
+pub struct Shard {
+    id: usize,
+    collection: LocalCollection,
+}
+
+impl Shard {
+    /// Fresh shard with the given index definitions.
+    pub fn new(id: usize, index_specs: &[IndexSpec]) -> Self {
+        let mut collection = LocalCollection::new();
+        for spec in index_specs {
+            collection.create_index(spec.clone());
+        }
+        Shard { id, collection }
+    }
+
+    /// Shard id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard-local collection (read access for query execution).
+    pub fn collection(&self) -> &LocalCollection {
+        &self.collection
+    }
+
+    /// Mutable collection access (deletes, migrations).
+    pub fn collection_mut(&mut self) -> &mut LocalCollection {
+        &mut self.collection
+    }
+
+    /// Insert a document.
+    pub fn insert(&mut self, doc: &Document) -> Result<(), String> {
+        self.collection.insert(doc).map(|_| ())
+    }
+
+    /// Live document count.
+    pub fn len(&self) -> usize {
+        self.collection.len()
+    }
+
+    /// True when the shard holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.collection.is_empty()
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> CollectionStats {
+        self.collection.stats()
+    }
+
+    /// Per-index size reports.
+    pub fn index_sizes(&self) -> Vec<(String, SizeReport)> {
+        self.collection.indexes().size_reports()
+    }
+
+    /// Record ids of documents whose shard key lies in `[min, max)`,
+    /// found through the shard-key index named `index_name`.
+    pub fn record_ids_in_key_range(
+        &self,
+        index_name: &str,
+        min: &[u8],
+        max: Option<&[u8]>,
+    ) -> Vec<u64> {
+        let Some(index) = self.collection.indexes().get(index_name) else {
+            return Vec::new();
+        };
+        let range = ScanRange {
+            lower: if min.is_empty() {
+                Bound::Unbounded
+            } else {
+                Bound::Included(min.to_vec())
+            },
+            upper: match max {
+                None => Bound::Unbounded,
+                Some(m) => Bound::Excluded(m.to_vec()),
+            },
+        };
+        let mut rids = Vec::new();
+        index.scan_ranges(&[range], |_, rid| {
+            rids.push(rid);
+            std::ops::ControlFlow::Continue(())
+        });
+        rids
+    }
+
+    /// Sorted shard-key byte strings of every document in `[min, max)` —
+    /// split-point discovery walks these to find the median.
+    pub fn shard_keys_in_range(
+        &self,
+        shard_key: &ShardKey,
+        index_name: &str,
+        min: &[u8],
+        max: Option<&[u8]>,
+    ) -> Vec<Vec<u8>> {
+        self.record_ids_in_key_range(index_name, min, max)
+            .into_iter()
+            .filter_map(|rid| self.collection.get(rid))
+            .map(|doc| shard_key.key_bytes(&doc))
+            .collect()
+    }
+
+    /// Remove and return every document in the key range (the donor side
+    /// of a chunk migration).
+    pub fn extract_range(
+        &mut self,
+        index_name: &str,
+        min: &[u8],
+        max: Option<&[u8]>,
+    ) -> Vec<Document> {
+        let rids = self.record_ids_in_key_range(index_name, min, max);
+        rids.into_iter()
+            .filter_map(|rid| self.collection.remove(rid))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::{doc, DateTime};
+    use sts_index::IndexField;
+
+    fn specs() -> Vec<IndexSpec> {
+        vec![
+            IndexSpec::single("_id"),
+            IndexSpec::new(
+                "hilbertIndex_1_date_1",
+                vec![IndexField::asc("hilbertIndex"), IndexField::asc("date")],
+            ),
+        ]
+    }
+
+    fn d(h: i64, t: i64) -> Document {
+        let mut d = doc! {"hilbertIndex" => h, "date" => DateTime::from_millis(t)};
+        d.ensure_id(0);
+        d
+    }
+
+    #[test]
+    fn key_range_extraction() {
+        let sk = ShardKey::range(&["hilbertIndex", "date"]);
+        let mut s = Shard::new(3, &specs());
+        for h in 0..10 {
+            s.insert(&d(h, h * 100)).unwrap();
+        }
+        assert_eq!(s.id(), 3);
+        assert_eq!(s.len(), 10);
+
+        let lo = sk.encode_prefix(&[sts_document::Value::Int64(3)]);
+        let hi = sk.encode_prefix(&[sts_document::Value::Int64(7)]);
+        let rids = s.record_ids_in_key_range("hilbertIndex_1_date_1", &lo, Some(&hi));
+        assert_eq!(rids.len(), 4); // h = 3,4,5,6
+
+        let keys = s.shard_keys_in_range(&sk, "hilbertIndex_1_date_1", &lo, Some(&hi));
+        assert_eq!(keys.len(), 4);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "sorted by key");
+
+        let moved = s.extract_range("hilbertIndex_1_date_1", &lo, Some(&hi));
+        assert_eq!(moved.len(), 4);
+        assert_eq!(s.len(), 6);
+        // Unbounded extraction empties the shard.
+        let rest = s.extract_range("hilbertIndex_1_date_1", &[], None);
+        assert_eq!(rest.len(), 6);
+        assert!(s.is_empty());
+    }
+}

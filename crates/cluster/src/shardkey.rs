@@ -1,0 +1,128 @@
+//! Shard keys: how documents map into the partitioning key space.
+
+use sts_document::{Document, Value};
+use sts_encoding::KeyWriter;
+
+/// Partitioning strategy (§3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardStrategy {
+    /// Contiguous key ranges — similar keys co-locate (enables targeted
+    /// range queries; the strategy every approach in the paper uses).
+    Range,
+    /// Keys are hashed first — spreads writes, forces broadcasts.
+    Hashed,
+}
+
+/// A (possibly compound) shard key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardKey {
+    /// Dotted field paths, in order.
+    pub fields: Vec<String>,
+    /// Range or hashed.
+    pub strategy: ShardStrategy,
+}
+
+impl ShardKey {
+    /// Range-sharded key over the given fields.
+    pub fn range(fields: &[&str]) -> Self {
+        assert!(!fields.is_empty(), "shard key needs at least one field");
+        ShardKey {
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+            strategy: ShardStrategy::Range,
+        }
+    }
+
+    /// Hash-sharded key over one field.
+    pub fn hashed(field: &str) -> Self {
+        ShardKey {
+            fields: vec![field.to_string()],
+            strategy: ShardStrategy::Hashed,
+        }
+    }
+
+    /// The document's position in the partitioning key space, as
+    /// memcomparable bytes. Missing fields partition as `Null` (MongoDB
+    /// allows this for non-`_id` keys).
+    pub fn key_bytes(&self, doc: &Document) -> Vec<u8> {
+        let mut w = KeyWriter::new();
+        for path in &self.fields {
+            let v = doc.get_path(path).cloned().unwrap_or(Value::Null);
+            match self.strategy {
+                ShardStrategy::Range => {
+                    w.push(&v);
+                }
+                ShardStrategy::Hashed => {
+                    w.push(&Value::Int64(hash_value(&v)));
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Encode explicit values into key-space bytes (for building zone
+    /// boundaries and routing intervals). Values are a *prefix* of the
+    /// key fields.
+    pub fn encode_prefix(&self, values: &[Value]) -> Vec<u8> {
+        assert!(values.len() <= self.fields.len(), "too many key values");
+        let mut w = KeyWriter::new();
+        for v in values {
+            w.push(v);
+        }
+        w.finish()
+    }
+}
+
+/// FNV-1a over the memcomparable encoding (same as hashed indexes).
+fn hash_value(v: &Value) -> i64 {
+    let enc = sts_encoding::encode_value(v);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in enc {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::{doc, DateTime};
+
+    #[test]
+    fn range_keys_order_like_values() {
+        let sk = ShardKey::range(&["hilbertIndex", "date"]);
+        let d = |h: i64, t: i64| {
+            doc! {"hilbertIndex" => h, "date" => DateTime::from_millis(t)}
+        };
+        assert!(sk.key_bytes(&d(1, 99)) < sk.key_bytes(&d(2, 0)));
+        assert!(sk.key_bytes(&d(1, 1)) < sk.key_bytes(&d(1, 2)));
+    }
+
+    #[test]
+    fn missing_field_partitions_as_null() {
+        let sk = ShardKey::range(&["date"]);
+        let with = doc! {"date" => DateTime::from_millis(1)};
+        let without = doc! {"x" => 1};
+        assert!(sk.key_bytes(&without) < sk.key_bytes(&with));
+    }
+
+    #[test]
+    fn hashed_scatters_consecutive_values() {
+        let sk = ShardKey::hashed("date");
+        let keys: Vec<Vec<u8>> = (0..16)
+            .map(|t| sk.key_bytes(&doc! {"date" => DateTime::from_millis(t)}))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_ne!(keys, sorted, "hashing should destroy temporal order");
+    }
+
+    #[test]
+    fn prefix_encoding_matches_document_encoding() {
+        let sk = ShardKey::range(&["hilbertIndex", "date"]);
+        let d = doc! {"hilbertIndex" => 7i64, "date" => DateTime::from_millis(5)};
+        let full = sk.key_bytes(&d);
+        let prefix = sk.encode_prefix(&[Value::Int64(7)]);
+        assert!(full.starts_with(&prefix));
+    }
+}

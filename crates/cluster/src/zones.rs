@@ -1,0 +1,180 @@
+//! Zones: operator-pinned shard-key ranges (§3.3, §4.2.4).
+
+/// A zone: the shard-key range `[min, max)` pinned to one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Zone {
+    /// Inclusive lower key bound (empty = −∞).
+    pub min: Vec<u8>,
+    /// Exclusive upper key bound (`None` = +∞).
+    pub max: Option<Vec<u8>>,
+    /// The shard this range is pinned to.
+    pub shard: usize,
+}
+
+impl Zone {
+    /// Does a key fall inside this zone?
+    pub fn contains(&self, key: &[u8]) -> bool {
+        key >= &self.min[..] && self.max.as_deref().is_none_or(|m| key < m)
+    }
+}
+
+/// `$bucketAuto`-style boundary computation (§4.2.4): split the sorted
+/// multiset of key byte-strings into `n` buckets of (as close as
+/// possible) equal document counts, returning the `n − 1` interior
+/// boundaries.
+///
+/// Duplicated values cannot straddle a boundary (a boundary *is* a key
+/// value), so heavy skew yields uneven buckets — the effect the paper
+/// notes for spatially skewed Hilbert values.
+pub fn bucket_boundaries(mut keys: Vec<Vec<u8>>, n: usize) -> Vec<Vec<u8>> {
+    assert!(n >= 1, "need at least one bucket");
+    if keys.is_empty() || n == 1 {
+        return Vec::new();
+    }
+    keys.sort_unstable();
+    let total = keys.len();
+    let mut boundaries = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        let target = i * total / n;
+        let candidate = &keys[target.min(total - 1)];
+        // Boundaries must be strictly increasing; skip duplicates caused
+        // by skewed key multiplicities.
+        if boundaries.last().is_none_or(|b: &Vec<u8>| b < candidate) {
+            boundaries.push(candidate.clone());
+        }
+    }
+    boundaries
+}
+
+/// Weighted `$bucketAuto`: boundaries that split the *total weight* (not
+/// the document count) into `n` near-equal buckets. This is the
+/// workload-aware partitioning of the paper's §6 future work: weighting
+/// each document by its query-access frequency yields zones that balance
+/// expected load instead of storage.
+pub fn weighted_bucket_boundaries(mut pairs: Vec<(Vec<u8>, u64)>, n: usize) -> Vec<Vec<u8>> {
+    assert!(n >= 1, "need at least one bucket");
+    pairs.retain(|(_, w)| *w > 0);
+    if pairs.is_empty() || n == 1 {
+        return Vec::new();
+    }
+    pairs.sort_unstable();
+    let total: u64 = pairs.iter().map(|(_, w)| w).sum();
+    let mut boundaries = Vec::with_capacity(n - 1);
+    let mut acc = 0u64;
+    let mut next_cut = 1u64;
+    for (key, w) in &pairs {
+        acc += w;
+        while next_cut < n as u64 && acc >= next_cut * total / n as u64 {
+            if boundaries.last().is_none_or(|b: &Vec<u8>| b < key) {
+                boundaries.push(key.clone());
+            }
+            next_cut += 1;
+        }
+    }
+    boundaries
+}
+
+/// Build one zone per shard from interior boundaries: zone *i* covers
+/// `[boundaries[i-1], boundaries[i])` and pins to shard *i*.
+pub fn zones_from_boundaries(boundaries: &[Vec<u8>], num_shards: usize) -> Vec<Zone> {
+    assert!(
+        boundaries.len() < num_shards,
+        "more boundaries than shards can absorb"
+    );
+    let mut zones = Vec::with_capacity(boundaries.len() + 1);
+    let mut lo: Vec<u8> = Vec::new();
+    for (i, b) in boundaries.iter().enumerate() {
+        zones.push(Zone {
+            min: lo.clone(),
+            max: Some(b.clone()),
+            shard: i,
+        });
+        lo = b.clone();
+    }
+    zones.push(Zone {
+        min: lo,
+        max: None,
+        shard: boundaries.len(),
+    });
+    zones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u8) -> Vec<u8> {
+        vec![0x10, n]
+    }
+
+    #[test]
+    fn even_boundaries_on_uniform_keys() {
+        let keys: Vec<Vec<u8>> = (0..100u8).map(k).collect();
+        let b = bucket_boundaries(keys, 4);
+        assert_eq!(b, vec![k(25), k(50), k(75)]);
+    }
+
+    #[test]
+    fn skewed_keys_collapse_duplicate_boundaries() {
+        // 90 copies of one value + 10 distinct values.
+        let mut keys: Vec<Vec<u8>> = std::iter::repeat_with(|| k(5)).take(90).collect();
+        keys.extend((10..20u8).map(k));
+        let b = bucket_boundaries(keys, 4);
+        // All early quantiles land on k(5); only distinct boundaries kept.
+        assert!(b.len() < 3);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zones_partition_key_space() {
+        let zones = zones_from_boundaries(&[k(10), k(20)], 3);
+        assert_eq!(zones.len(), 3);
+        assert!(zones[0].contains(&[]));
+        assert!(zones[0].contains(&k(9)));
+        assert!(zones[1].contains(&k(10)));
+        assert!(zones[2].contains(&k(20)));
+        assert!(zones[2].contains(&k(255)));
+        for key in [vec![], k(5), k(10), k(15), k(20), k(200)] {
+            assert_eq!(zones.iter().filter(|z| z.contains(&key)).count(), 1);
+        }
+        assert_eq!(zones[0].shard, 0);
+        assert_eq!(zones[2].shard, 2);
+    }
+
+    #[test]
+    fn single_bucket_has_no_boundaries() {
+        assert!(bucket_boundaries(vec![k(1), k(2)], 1).is_empty());
+        assert!(bucket_boundaries(vec![], 5).is_empty());
+    }
+
+    #[test]
+    fn weighted_boundaries_follow_weight_not_count() {
+        // 100 keys, but key 10 carries 100× weight: the first boundary
+        // must land right after the heavy key, not at the count median.
+        let mut pairs: Vec<(Vec<u8>, u64)> = (0..100u8).map(|i| (k(i), 1)).collect();
+        pairs[10].1 = 100;
+        let b = weighted_bucket_boundaries(pairs, 2);
+        assert_eq!(b.len(), 1);
+        assert!(b[0] <= k(12), "boundary {:?} should hug the hot key", b[0]);
+
+        // Uniform weights reduce to (approximately) the unweighted rule.
+        let uniform: Vec<(Vec<u8>, u64)> = (0..100u8).map(|i| (k(i), 1)).collect();
+        let b = weighted_bucket_boundaries(uniform, 4);
+        assert_eq!(b.len(), 3);
+        for (got, want) in b.iter().zip([25u8, 50, 75]) {
+            let diff = (got[1] as i32 - i32::from(want)).abs();
+            assert!(diff <= 1, "{got:?} vs {want}");
+        }
+    }
+
+    #[test]
+    fn weighted_boundaries_edge_cases() {
+        assert!(weighted_bucket_boundaries(vec![], 4).is_empty());
+        assert!(weighted_bucket_boundaries(vec![(k(1), 5)], 1).is_empty());
+        // All weight on one key: no valid interior boundary above it.
+        let pairs = vec![(k(5), 1_000), (k(6), 1), (k(7), 1)];
+        let b = weighted_bucket_boundaries(pairs, 4);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b.len() < 4);
+    }
+}

@@ -1,0 +1,335 @@
+//! End-to-end behaviour of the sharded cluster simulator.
+
+use sts_cluster::{Cluster, ClusterConfig, ShardKey};
+use sts_document::{doc, DateTime, Document, Value};
+use sts_geo::GeoRect;
+use sts_index::{IndexField, IndexSpec};
+use sts_query::Filter;
+
+fn point_doc(id: u32, lon: f64, lat: f64, ms: i64, hilbert: i64) -> Document {
+    let mut d = doc! {
+        "location" => doc! {
+            "type" => "Point",
+            "coordinates" => vec![Value::from(lon), Value::from(lat)],
+        },
+        "date" => DateTime::from_millis(ms),
+        "hilbertIndex" => hilbert,
+    };
+    d.ensure_id(id);
+    d
+}
+
+/// A small hil-style cluster: shard key (hilbertIndex, date).
+fn hil_cluster(num_shards: usize, max_chunk_bytes: u64) -> Cluster {
+    Cluster::new(
+        ClusterConfig {
+            num_shards,
+            max_chunk_bytes,
+            ..Default::default()
+        },
+        ShardKey::range(&["hilbertIndex", "date"]),
+        vec![],
+    )
+}
+
+/// Deterministic synthetic data: `n` docs spread over 64 hilbert cells
+/// and a [0, n*1000) time range.
+fn load(cluster: &mut Cluster, n: u32) {
+    for i in 0..n {
+        let h = i64::from(i % 64);
+        let lon = 20.0 + (i % 64) as f64 * 0.1;
+        let lat = 35.0 + (i % 32) as f64 * 0.1;
+        cluster
+            .insert(&point_doc(i, lon, lat, i64::from(i) * 1_000, h))
+            .unwrap();
+    }
+}
+
+#[test]
+fn auto_creates_shard_key_index() {
+    let c = hil_cluster(4, 1 << 20);
+    assert_eq!(c.shard_key_index(), "hilbertIndex_1_date_1");
+    assert!(c.shards()[0]
+        .collection()
+        .indexes()
+        .get("hilbertIndex_1_date_1")
+        .is_some());
+    assert!(c.shards()[0].collection().indexes().get("_id").is_some());
+}
+
+#[test]
+fn chunks_split_and_balance() {
+    let mut c = hil_cluster(4, 24 * 1024);
+    load(&mut c, 6_000);
+    assert!(c.chunk_map().len() > 4, "chunks: {}", c.chunk_map().len());
+    let counts = c.chunk_map().counts_per_shard(4);
+    let max = counts.iter().max().unwrap();
+    let min = counts.iter().min().unwrap();
+    assert!(max - min <= 1, "balanced counts: {counts:?}");
+    assert_eq!(c.doc_count(), 6_000);
+    // Every shard holds something once there are enough chunks.
+    assert!(c.docs_per_shard().iter().all(|&n| n > 0));
+}
+
+#[test]
+fn routed_query_equals_broadcast_truth() {
+    let mut c = hil_cluster(4, 24 * 1024);
+    load(&mut c, 4_000);
+    let f = Filter::And(vec![
+        Filter::gte("date", DateTime::from_millis(100_000)),
+        Filter::lte("date", DateTime::from_millis(900_000)),
+        Filter::Or(vec![Filter::And(vec![
+            Filter::gte("hilbertIndex", 10i64),
+            Filter::lte("hilbertIndex", 30i64),
+        ])]),
+    ]);
+    let (docs, report) = c.query(&f);
+    // Ground truth by brute force across shards.
+    let truth: usize = c
+        .shards()
+        .iter()
+        .map(|s| s.collection().find_collscan(&f).len())
+        .sum();
+    assert_eq!(docs.len(), truth);
+    assert!(truth > 0);
+    assert!(!report.broadcast, "hilbert constraint must target");
+    assert!(report.nodes() <= 4);
+    assert_eq!(report.n_returned() as usize, truth);
+}
+
+#[test]
+fn query_without_shard_key_broadcasts() {
+    let mut c = hil_cluster(4, 24 * 1024);
+    load(&mut c, 2_000);
+    let f = Filter::gte("date", DateTime::from_millis(0));
+    // date is not the leading shard-key field → broadcast.
+    let (_, report) = c.query(&f);
+    assert!(report.broadcast);
+    assert_eq!(report.nodes(), 4);
+}
+
+#[test]
+fn temporal_sharding_targets_by_date() {
+    let mut c = Cluster::new(
+        ClusterConfig {
+            num_shards: 4,
+            max_chunk_bytes: 24 * 1024,
+            ..Default::default()
+        },
+        ShardKey::range(&["date"]),
+        vec![IndexSpec::new(
+            "location_2dsphere_date_1",
+            vec![IndexField::geo("location"), IndexField::asc("date")],
+        )],
+    );
+    // Shard key (date) is not covered by the 2dsphere compound → an
+    // extra date index is auto-created (the paper's §4.1.2 observation).
+    assert_eq!(c.shard_key_index(), "date_1");
+    load(&mut c, 4_000);
+    let narrow = Filter::And(vec![
+        Filter::gte("date", DateTime::from_millis(0)),
+        Filter::lte("date", DateTime::from_millis(50_000)),
+    ]);
+    let (_, report) = c.query(&narrow);
+    assert!(!report.broadcast);
+    assert!(
+        report.nodes() < 4,
+        "narrow time range should touch a subset: {}",
+        report.nodes()
+    );
+    let wide = Filter::And(vec![
+        Filter::gte("date", DateTime::from_millis(0)),
+        Filter::lte("date", DateTime::from_millis(4_000_000)),
+    ]);
+    let (_, report) = c.query(&wide);
+    assert_eq!(report.nodes(), 4, "wide range touches all shards");
+}
+
+#[test]
+fn zones_improve_locality() {
+    let mut c = hil_cluster(4, 16 * 1024);
+    load(&mut c, 6_000);
+    let f = Filter::Or(vec![Filter::And(vec![
+        Filter::gte("hilbertIndex", 0i64),
+        Filter::lte("hilbertIndex", 15i64),
+    ])]);
+    let (docs_before, before) = c.query(&f);
+
+    // Zones on the hilbertIndex prefix, one per shard (§4.2.4).
+    let boundaries = c.bucket_auto_boundaries("hilbertIndex", 4);
+    c.apply_zones(&boundaries);
+    let (docs_after, after) = c.query(&f);
+
+    assert_eq!(docs_before.len(), docs_after.len(), "zones preserve results");
+    assert_eq!(c.doc_count(), 6_000);
+    assert!(
+        after.nodes() <= before.nodes(),
+        "zones group ranges: {} -> {}",
+        before.nodes(),
+        after.nodes()
+    );
+    // A contiguous quarter of the hilbert space lands on one zone — or
+    // two when a $bucketAuto boundary falls exactly on the query's edge
+    // value (boundaries are data quantiles, not midpoints).
+    assert!(after.nodes() <= 2, "nodes after zoning: {}", after.nodes());
+}
+
+#[test]
+fn jumbo_chunks_on_degenerate_keys() {
+    // Every document shares one shard-key value → unsplittable chunk.
+    let mut c = Cluster::new(
+        ClusterConfig {
+            num_shards: 2,
+            max_chunk_bytes: 4 * 1024,
+            ..Default::default()
+        },
+        ShardKey::range(&["hilbertIndex"]),
+        vec![],
+    );
+    for i in 0..500 {
+        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i), 7)).unwrap();
+    }
+    assert!(c.chunk_map().chunks().iter().any(|ch| ch.jumbo));
+    assert_eq!(c.doc_count(), 500);
+}
+
+#[test]
+fn compound_shard_key_splits_on_date_instead() {
+    // Same degenerate spatial value, but (hilbertIndex, date) splits on
+    // the temporal part (§4.2.2).
+    let mut c = hil_cluster(2, 4 * 1024);
+    for i in 0..500 {
+        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i) * 1_000, 7))
+            .unwrap();
+    }
+    assert!(c.chunk_map().len() > 1);
+    assert!(!c.chunk_map().chunks().iter().any(|ch| ch.jumbo));
+}
+
+#[test]
+fn geo_query_routes_and_matches_truth() {
+    let mut c = Cluster::new(
+        ClusterConfig {
+            num_shards: 3,
+            max_chunk_bytes: 24 * 1024,
+            ..Default::default()
+        },
+        ShardKey::range(&["date"]),
+        vec![IndexSpec::new(
+            "st",
+            vec![IndexField::geo("location"), IndexField::asc("date")],
+        )],
+    );
+    load(&mut c, 3_000);
+    let f = Filter::And(vec![
+        Filter::GeoWithin {
+            path: "location".into(),
+            rect: GeoRect::new(21.0, 35.5, 23.0, 37.0),
+        },
+        Filter::gte("date", DateTime::from_millis(0)),
+        Filter::lte("date", DateTime::from_millis(1_500_000)),
+    ]);
+    let (docs, report) = c.query(&f);
+    let truth: usize = c
+        .shards()
+        .iter()
+        .map(|s| s.collection().find_collscan(&f).len())
+        .sum();
+    assert_eq!(docs.len(), truth);
+    assert!(truth > 0);
+    assert!(report.max_keys_examined() > 0);
+    assert!(report.max_docs_examined() >= docs.len() as u64 / report.nodes() as u64 / 2);
+}
+
+#[test]
+fn hashed_sharding_scatters_and_broadcasts() {
+    let mut c = Cluster::new(
+        ClusterConfig {
+            num_shards: 4,
+            max_chunk_bytes: 8 * 1024,
+            ..Default::default()
+        },
+        ShardKey::hashed("date"),
+        vec![],
+    );
+    for i in 0..2_000 {
+        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i) * 1_000, 1))
+            .unwrap();
+    }
+    assert_eq!(c.doc_count(), 2_000);
+    // Hashing spreads consecutive timestamps across shards.
+    let per_shard = c.docs_per_shard();
+    assert!(per_shard.iter().all(|&n| n > 100), "{per_shard:?}");
+    // Range constraints cannot target hashed keys → broadcast (§3.3:
+    // "hashed sharding … may serve well for cases where broadcast
+    // operations are preferable").
+    let f = Filter::And(vec![
+        Filter::gte("date", DateTime::from_millis(0)),
+        Filter::lte("date", DateTime::from_millis(10_000)),
+    ]);
+    let (docs, report) = c.query(&f);
+    assert!(report.broadcast);
+    assert_eq!(report.nodes(), 4);
+    assert_eq!(docs.len(), 11);
+}
+
+#[test]
+fn migration_preserves_queryability() {
+    // Force lots of splits + migrations, then verify every record is
+    // still indexed and fetchable through the router.
+    let mut c = hil_cluster(3, 4 * 1024);
+    load(&mut c, 1_500);
+    let f = Filter::Or(vec![Filter::And(vec![
+        Filter::gte("hilbertIndex", 0i64),
+        Filter::lte("hilbertIndex", 63i64),
+    ])]);
+    let (docs, _) = c.query(&f);
+    assert_eq!(docs.len(), 1_500);
+    // Index consistency per shard: entry counts equal doc counts.
+    for s in c.shards() {
+        let n = s.len();
+        assert_eq!(s.collection().indexes().get("_id").unwrap().len(), n);
+        assert_eq!(
+            s.collection()
+                .indexes()
+                .get("hilbertIndex_1_date_1")
+                .unwrap()
+                .len(),
+            n
+        );
+    }
+}
+
+#[test]
+fn migration_stats_track_balancer_and_zones() {
+    let mut c = hil_cluster(4, 16 * 1024);
+    load(&mut c, 4_000);
+    let after_load = c.migration_stats();
+    assert!(
+        after_load.chunks_moved > 0 && after_load.docs_moved > 0,
+        "default balancing must have migrated: {after_load:?}"
+    );
+    let boundaries = c.bucket_auto_boundaries("hilbertIndex", 4);
+    c.apply_zones(&boundaries);
+    let after_zones = c.migration_stats();
+    assert!(
+        after_zones.docs_moved > after_load.docs_moved,
+        "zone application shuffles data: {after_zones:?}"
+    );
+    assert_eq!(c.doc_count(), 4_000, "migrations lose nothing");
+}
+
+#[test]
+fn collection_stats_and_index_sizes_aggregate() {
+    let mut c = hil_cluster(3, 24 * 1024);
+    load(&mut c, 2_000);
+    let stats = c.collection_stats();
+    assert_eq!(stats.documents, 2_000);
+    assert!(stats.storage_bytes > 0 && stats.storage_bytes < stats.data_bytes);
+    let sizes = c.index_sizes();
+    assert_eq!(sizes.len(), 2); // _id + shard-key compound
+    for (name, r) in &sizes {
+        assert_eq!(r.entries, 2_000, "{name}");
+        assert!(r.total_compressed() > 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests over randomized cluster lifecycles: any mix of
+//! inserts, chunk sizes, zone applications and queries must preserve the
+//! routing invariants and brute-force equivalence.
+
+use proptest::prelude::*;
+use sts_cluster::{Cluster, ClusterConfig, ShardKey};
+use sts_document::{doc, DateTime, Document};
+use sts_query::Filter;
+
+fn point_doc(i: u32, h: i64, ms: i64) -> Document {
+    let mut d = doc! {
+        "hilbertIndex" => h,
+        "date" => DateTime::from_millis(ms),
+        "payload" => format!("rec-{i:06}"),
+    };
+    d.ensure_id(i);
+    d
+}
+
+fn check_invariants(c: &Cluster, expected_docs: u64) {
+    assert_eq!(c.doc_count(), expected_docs);
+    let chunks = c.chunk_map().chunks();
+    assert!(chunks[0].min.is_empty());
+    assert!(chunks.last().unwrap().max.is_none());
+    for w in chunks.windows(2) {
+        assert_eq!(w[0].max.as_ref(), Some(&w[1].min));
+    }
+    let total: u64 = chunks.iter().map(|ch| ch.docs).sum();
+    assert_eq!(total, expected_docs, "chunk counters must sum exactly");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lifecycle_preserves_invariants(
+        n_docs in 200u32..1_200,
+        shards in 2usize..6,
+        chunk_kb in 2u64..32,
+        h_mod in 1i64..200,
+        zone_at in proptest::option::of(100u32..1_000),
+        q_lo in 0i64..150, q_span in 1i64..100,
+    ) {
+        let mut c = Cluster::new(
+            ClusterConfig {
+                num_shards: shards,
+                max_chunk_bytes: chunk_kb * 1024,
+                ..Default::default()
+            },
+            ShardKey::range(&["hilbertIndex", "date"]),
+            vec![],
+        );
+        let mut inserted = Vec::new();
+        for i in 0..n_docs {
+            // Deterministic pseudo-random payload derived from i.
+            let h = (i64::from(i).wrapping_mul(0x9E37_79B9) >> 7).rem_euclid(h_mod);
+            let ms = i64::from(i % 997) * 13_337;
+            let d = point_doc(i, h, ms);
+            c.insert(&d).unwrap();
+            inserted.push(d);
+            if Some(i) == zone_at {
+                let b = c.bucket_auto_boundaries("hilbertIndex", shards);
+                c.apply_zones(&b);
+            }
+        }
+        check_invariants(&c, u64::from(n_docs));
+
+        // Query a random hilbert interval; compare against brute force.
+        let q_hi = (q_lo + q_span).min(h_mod);
+        let f = Filter::Or(vec![Filter::And(vec![
+            Filter::gte("hilbertIndex", q_lo),
+            Filter::lte("hilbertIndex", q_hi),
+        ])]);
+        let (docs, report) = c.query(&f);
+        let truth = inserted
+            .iter()
+            .filter(|d| {
+                let h = d.get("hilbertIndex").unwrap().as_i64().unwrap();
+                (q_lo..=q_hi).contains(&h)
+            })
+            .count();
+        prop_assert_eq!(docs.len(), truth);
+        prop_assert!(!report.broadcast);
+        prop_assert!(report.nodes() <= shards);
+    }
+}

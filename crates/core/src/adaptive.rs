@@ -1,0 +1,165 @@
+//! Workload-aware partitioning — the paper's §6 closing future-work
+//! item ("propose an adaptive, workload-aware mechanism for indexing and
+//! partitioning").
+//!
+//! Plain zones (§4.2.4) equalize *document counts* per shard. Under a
+//! skewed query workload that leaves the shards holding the hot region
+//! doing most of the work. [`StStore::apply_workload_aware_zones`]
+//! instead weighs every document by how many logged queries touch it and
+//! draws the `$bucketAuto` boundaries over the *weighted* distribution:
+//! hot regions split across more shards, cold regions coalesce.
+
+use crate::api::StStore;
+use crate::query::StQuery;
+use crate::LOCATION_FIELD;
+use sts_document::Document;
+use sts_index::geo_point_of;
+
+/// Per-document access weight under a logged workload: `1 +
+/// #queries-that-match` (the `1` keeps never-touched documents from
+/// collapsing into zero-weight regions with undefined boundaries).
+pub fn access_weight(log: &[StQuery], doc: &Document) -> u64 {
+    let Some(p) = geo_point_of(doc, LOCATION_FIELD) else {
+        return 1;
+    };
+    let Some(t) = doc.get("date").and_then(sts_document::Value::as_datetime) else {
+        return 1;
+    };
+    1 + log.iter().filter(|q| q.matches(p.lon, p.lat, t)).count() as u64
+}
+
+impl StStore {
+    /// Re-zone the cluster using query-access frequencies from `log`
+    /// instead of raw document counts.
+    ///
+    /// The zone field stays the approach's (§4.2.4): `hilbertIndex` for
+    /// the Hilbert methods, `date` for the baselines.
+    pub fn apply_workload_aware_zones(&mut self, log: &[StQuery]) {
+        let field = self.approach().zone_field();
+        let n = self.config().num_shards;
+        let boundaries = self
+            .cluster()
+            .bucket_auto_weighted_boundaries(field, n, |doc| access_weight(log, doc));
+        self.cluster_mut().apply_zones(&boundaries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Approach, StoreConfig};
+    use sts_document::{doc, DateTime, Value};
+    use sts_geo::GeoRect;
+
+    fn grid_store() -> StStore {
+        let mut store = StStore::new(StoreConfig {
+            approach: Approach::Hil,
+            num_shards: 4,
+            max_chunk_bytes: 32 * 1024,
+            ..Default::default()
+        });
+        let mut i = 0u32;
+        for x in 0..50 {
+            for y in 0..50 {
+                let mut d = doc! {
+                    "location" => doc! {
+                        "type" => "Point",
+                        "coordinates" => vec![
+                            Value::from(20.0 + f64::from(x) * 0.15),
+                            Value::from(35.0 + f64::from(y) * 0.12),
+                        ],
+                    },
+                    "date" => DateTime::from_millis(i64::from(i) * 60_000),
+                };
+                d.ensure_id(i);
+                store.insert(d).unwrap();
+                i += 1;
+            }
+        }
+        store
+    }
+
+    /// A workload hammering one corner of the space.
+    fn hot_corner_log() -> Vec<StQuery> {
+        (0..20)
+            .map(|i| StQuery {
+                rect: GeoRect::new(20.0, 35.0, 21.5, 36.2),
+                t0: DateTime::from_millis(0),
+                t1: DateTime::from_millis(i64::from(i + 1) * 10_000_000),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weights_reflect_query_hits() {
+        let log = hot_corner_log();
+        let hot = doc! {
+            "location" => doc! {
+                "type" => "Point",
+                "coordinates" => vec![Value::from(20.5), Value::from(35.5)],
+            },
+            "date" => DateTime::from_millis(1_000),
+        };
+        let cold = doc! {
+            "location" => doc! {
+                "type" => "Point",
+                "coordinates" => vec![Value::from(27.0), Value::from(40.0)],
+            },
+            "date" => DateTime::from_millis(1_000),
+        };
+        assert_eq!(access_weight(&log, &cold), 1);
+        assert!(access_weight(&log, &hot) > 10);
+        // Geo-less documents default to weight 1 instead of panicking.
+        assert_eq!(access_weight(&log, &doc! {"x" => 1}), 1);
+    }
+
+    #[test]
+    fn workload_aware_zones_spread_the_hot_region() {
+        let log = hot_corner_log();
+        let probe = &log[19]; // widest hot-corner query
+
+        let mut plain = grid_store();
+        plain.apply_zones();
+        let (docs_plain, rep_plain) = plain.st_query(probe);
+
+        let mut aware = grid_store();
+        aware.apply_workload_aware_zones(&log);
+        let (docs_aware, rep_aware) = aware.st_query(probe);
+
+        assert_eq!(docs_plain.len(), docs_aware.len(), "results unchanged");
+        assert!(!docs_plain.is_empty());
+        // The hot region now spans more shards, so the hottest shard
+        // does less of the query's work.
+        assert!(
+            rep_aware.cluster.nodes() >= rep_plain.cluster.nodes(),
+            "hot region must not collapse onto fewer nodes: {} vs {}",
+            rep_aware.cluster.nodes(),
+            rep_plain.cluster.nodes()
+        );
+        assert!(
+            rep_aware.cluster.max_docs_examined() <= rep_plain.cluster.max_docs_examined(),
+            "hottest-shard work should shrink: {} vs {}",
+            rep_aware.cluster.max_docs_examined(),
+            rep_plain.cluster.max_docs_examined()
+        );
+    }
+
+    #[test]
+    fn empty_log_degenerates_to_plain_zones() {
+        let mut a = grid_store();
+        a.apply_workload_aware_zones(&[]);
+        let mut b = grid_store();
+        b.apply_zones();
+        // Uniform weights → same equal-count intent. The two quantile
+        // rules may cut one key apart, so allow a few documents of slack
+        // per shard.
+        for (x, y) in a
+            .cluster()
+            .docs_per_shard()
+            .iter()
+            .zip(b.cluster().docs_per_shard())
+        {
+            assert!((*x as i64 - y as i64).abs() <= 5, "{x} vs {y}");
+        }
+    }
+}

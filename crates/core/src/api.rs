@@ -1,0 +1,380 @@
+//! The public store facade.
+
+use crate::approach::Approach;
+use crate::config::StoreConfig;
+use crate::query::{build_filter, StQuery};
+use crate::report::QueryReport;
+use crate::{HILBERT_FIELD, LOCATION_FIELD};
+use sts_cluster::{Cluster, ClusterConfig, ClusterQueryReport};
+use sts_curve::CurveGrid;
+use sts_document::Document;
+use sts_index::geo_point_of;
+use sts_query::Filter;
+use sts_storage::CollectionStats;
+
+/// A deployed spatio-temporal store: one approach, one sharded cluster.
+pub struct StStore {
+    config: StoreConfig,
+    curve: Option<CurveGrid>,
+    cluster: Cluster,
+}
+
+impl StStore {
+    /// Deploy a fresh (empty) store for the configured approach.
+    pub fn new(config: StoreConfig) -> Self {
+        let curve = config.approach.curve(config.curve_order, &config.data_mbr);
+        let cluster = Cluster::new(
+            ClusterConfig {
+                num_shards: config.num_shards,
+                max_chunk_bytes: config.max_chunk_bytes,
+                planner: config.planner,
+            },
+            config.approach.shard_key(),
+            config.approach.index_specs(config.geo_bits),
+        );
+        StStore {
+            config,
+            curve,
+            cluster,
+        }
+    }
+
+    /// The configured approach.
+    pub fn approach(&self) -> Approach {
+        self.config.approach
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The curve grid (Hilbert methods only).
+    pub fn curve(&self) -> Option<&CurveGrid> {
+        self.curve.as_ref()
+    }
+
+    /// The underlying cluster (read access for diagnostics).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (zone management, balancing).
+    pub(crate) fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Augment (for Hilbert methods) and insert one document.
+    ///
+    /// The document must carry a GeoJSON point under `location` and a
+    /// datetime under `date`; the Hilbert methods add the 1D value as a
+    /// new `hilbertIndex` field (§4.2.1) before routing.
+    pub fn insert(&mut self, mut doc: Document) -> Result<(), String> {
+        if let Some(grid) = &self.curve {
+            let p = geo_point_of(&doc, LOCATION_FIELD)
+                .ok_or_else(|| "document lacks a valid GeoJSON location".to_string())?;
+            doc.set(HILBERT_FIELD, grid.index_of(p) as i64);
+        }
+        if self.config.approach == Approach::StHash {
+            let p = geo_point_of(&doc, LOCATION_FIELD)
+                .ok_or_else(|| "document lacks a valid GeoJSON location".to_string())?;
+            let t = doc
+                .get(crate::DATE_FIELD)
+                .and_then(sts_document::Value::as_datetime)
+                .ok_or_else(|| "document lacks a datetime `date` field".to_string())?;
+            doc.set(crate::sthash::STHASH_FIELD, crate::sthash::sthash_of(p, t));
+        }
+        self.cluster.insert(&doc)
+    }
+
+    /// Bulk load documents, returning how many were stored.
+    pub fn bulk_load<I: IntoIterator<Item = Document>>(&mut self, docs: I) -> Result<u64, String> {
+        let mut n = 0;
+        for d in docs {
+            self.insert(d)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Execute a spatio-temporal range query.
+    pub fn st_query(&self, query: &StQuery) -> (Vec<Document>, QueryReport) {
+        let (filter, hilbert_time, hilbert_ranges) = if self.config.approach == Approach::StHash {
+            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
+        } else {
+            build_filter(query, self.curve.as_ref(), self.config.range_budget)
+        };
+        let (docs, cluster) = self.cluster.query(&filter);
+        (
+            docs,
+            QueryReport {
+                cluster,
+                hilbert_time,
+                hilbert_ranges,
+            },
+        )
+    }
+
+    /// Execute a **polygonal** spatio-temporal query (§6 extension):
+    /// every point inside `polygon` between `t0` and `t1` inclusive.
+    pub fn polygon_query(
+        &self,
+        polygon: &sts_geo::GeoPolygon,
+        t0: sts_document::DateTime,
+        t1: sts_document::DateTime,
+    ) -> (Vec<Document>, QueryReport) {
+        let (filter, hilbert_time, hilbert_ranges) = crate::query::build_polygon_filter(
+            polygon,
+            t0,
+            t1,
+            self.curve.as_ref(),
+            self.config.range_budget,
+        );
+        let (docs, cluster) = self.cluster.query(&filter);
+        (
+            docs,
+            QueryReport {
+                cluster,
+                hilbert_time,
+                hilbert_ranges,
+            },
+        )
+    }
+
+    /// The store-level filter a query translates to (for explain-style
+    /// inspection and tests).
+    pub fn filter_for(&self, query: &StQuery) -> Filter {
+        if self.config.approach == Approach::StHash {
+            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20)).0
+        } else {
+            build_filter(query, self.curve.as_ref(), self.config.range_budget).0
+        }
+    }
+
+    /// Run an arbitrary filter through the router.
+    pub fn find(&self, filter: &Filter) -> (Vec<Document>, ClusterQueryReport) {
+        self.cluster.query(filter)
+    }
+
+    /// Spatio-temporal query with result shaping (sort + limit):
+    /// distributed top-k across the targeted shards.
+    pub fn st_query_with_options(
+        &self,
+        query: &StQuery,
+        options: &sts_query::FindOptions,
+    ) -> (Vec<Document>, QueryReport) {
+        let (filter, hilbert_time, hilbert_ranges) = if self.config.approach == Approach::StHash {
+            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
+        } else {
+            build_filter(query, self.curve.as_ref(), self.config.range_budget)
+        };
+        let (docs, cluster) = self.cluster.query_with_options(&filter, options);
+        (
+            docs,
+            QueryReport {
+                cluster,
+                hilbert_time,
+                hilbert_ranges,
+            },
+        )
+    }
+
+    /// Distributed `$group` aggregation over a spatio-temporal query —
+    /// the analytical workloads of §1 (fuel consumption, movement
+    /// patterns) run through this.
+    pub fn st_aggregate(
+        &self,
+        query: &StQuery,
+        spec: &sts_query::GroupBy,
+    ) -> (Vec<Document>, QueryReport) {
+        let (filter, hilbert_time, hilbert_ranges) = if self.config.approach == Approach::StHash {
+            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
+        } else {
+            build_filter(query, self.curve.as_ref(), self.config.range_budget)
+        };
+        let (docs, cluster) = self.cluster.aggregate(&filter, spec);
+        (
+            docs,
+            QueryReport {
+                cluster,
+                hilbert_time,
+                hilbert_ranges,
+            },
+        )
+    }
+
+    /// Configure zones per §4.2.4: `$bucketAuto` boundaries on the
+    /// approach's zone field (`hilbertIndex` for Hilbert methods, `date`
+    /// for the baselines), one zone per shard, data migrated to match.
+    pub fn apply_zones(&mut self) {
+        let field = self.config.approach.zone_field();
+        let boundaries = self
+            .cluster
+            .bucket_auto_boundaries(field, self.config.num_shards);
+        self.cluster.apply_zones(&boundaries);
+    }
+
+    /// Delete every document matching a spatio-temporal query (e.g. GDPR
+    /// erasure of a region/time window). Returns the number removed.
+    pub fn st_delete(&mut self, query: &StQuery) -> u64 {
+        let filter = self.filter_for(query);
+        self.cluster.delete(&filter)
+    }
+
+    /// Total documents stored.
+    pub fn doc_count(&self) -> u64 {
+        self.cluster.doc_count()
+    }
+
+    /// Aggregated collection statistics (Table 6).
+    pub fn collection_stats(&self) -> CollectionStats {
+        self.cluster.collection_stats()
+    }
+
+    /// Per-index cluster-wide sizes (Fig. 14).
+    pub fn index_sizes(&self) -> Vec<(String, sts_btree::SizeReport)> {
+        self.cluster.index_sizes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::{doc, DateTime, Value};
+    use sts_geo::GeoRect;
+
+    fn record(i: u32, lon: f64, lat: f64, ms: i64) -> Document {
+        let mut d = doc! {
+            "location" => doc! {
+                "type" => "Point",
+                "coordinates" => vec![Value::from(lon), Value::from(lat)],
+            },
+            "date" => DateTime::from_millis(ms),
+            "vehicle" => format!("veh-{}", i % 7),
+        };
+        d.ensure_id(i);
+        d
+    }
+
+    fn small_store(approach: Approach) -> StStore {
+        let mut store = StStore::new(StoreConfig {
+            approach,
+            num_shards: 4,
+            max_chunk_bytes: 16 * 1024,
+            ..Default::default()
+        });
+        // A 40×40 grid over part of Greece, one point per minute.
+        let mut i = 0;
+        for x in 0..40 {
+            for y in 0..40 {
+                let lon = 20.0 + f64::from(x) * 0.2;
+                let lat = 35.0 + f64::from(y) * 0.15;
+                store
+                    .insert(record(i, lon, lat, i64::from(i) * 60_000))
+                    .unwrap();
+                i += 1;
+            }
+        }
+        store
+    }
+
+    fn truth(store: &StStore, q: &StQuery) -> usize {
+        store
+            .cluster()
+            .shards()
+            .iter()
+            .map(|s| {
+                s.collection()
+                    .iter()
+                    .filter(|(_, d)| {
+                        let p = geo_point_of(d, LOCATION_FIELD).unwrap();
+                        q.matches(p.lon, p.lat, d.get("date").unwrap().as_datetime().unwrap())
+                    })
+                    .count()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn all_approaches_agree_on_results() {
+        let q = StQuery {
+            rect: GeoRect::new(22.0, 36.0, 25.0, 38.5),
+            t0: DateTime::from_millis(10_000_000),
+            t1: DateTime::from_millis(60_000_000),
+        };
+        let mut counts = Vec::new();
+        for approach in Approach::ALL {
+            let store = small_store(approach);
+            let expected = truth(&store, &q);
+            let (docs, report) = store.st_query(&q);
+            assert_eq!(docs.len(), expected, "{approach}");
+            assert_eq!(report.cluster.n_returned() as usize, expected, "{approach}");
+            if approach.uses_hilbert() {
+                assert!(report.hilbert_ranges > 0, "{approach}");
+            } else {
+                assert_eq!(report.hilbert_ranges, 0, "{approach}");
+            }
+            counts.push(docs.len());
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]));
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn hilbert_docs_carry_index_field() {
+        let store = small_store(Approach::Hil);
+        let (docs, _) = store.st_query(&StQuery {
+            rect: GeoRect::new(20.0, 35.0, 28.0, 41.0),
+            t0: DateTime::from_millis(0),
+            t1: DateTime::from_millis(1_000_000_000),
+        });
+        assert!(!docs.is_empty());
+        assert!(docs.iter().all(|d| d.get(HILBERT_FIELD).is_some()));
+        // Baselines must NOT carry it (Table 6's size difference).
+        let store = small_store(Approach::BslST);
+        let (docs, _) = store.st_query(&StQuery {
+            rect: GeoRect::new(20.0, 35.0, 28.0, 41.0),
+            t0: DateTime::from_millis(0),
+            t1: DateTime::from_millis(1_000_000_000),
+        });
+        assert!(docs.iter().all(|d| d.get(HILBERT_FIELD).is_none()));
+    }
+
+    #[test]
+    fn zones_preserve_results_for_every_approach() {
+        let q = StQuery {
+            rect: GeoRect::new(21.0, 35.5, 24.0, 39.0),
+            t0: DateTime::from_millis(5_000_000),
+            t1: DateTime::from_millis(80_000_000),
+        };
+        for approach in Approach::ALL {
+            let mut store = small_store(approach);
+            let (before, _) = store.st_query(&q);
+            store.apply_zones();
+            let (after, _) = store.st_query(&q);
+            assert_eq!(before.len(), after.len(), "{approach}");
+            assert_eq!(store.doc_count(), 1_600, "{approach}");
+        }
+    }
+
+    #[test]
+    fn insert_rejects_geo_less_documents() {
+        let mut store = StStore::new(StoreConfig {
+            approach: Approach::Hil,
+            num_shards: 2,
+            ..Default::default()
+        });
+        let bad = doc! {"date" => DateTime::from_millis(0)};
+        assert!(store.insert(bad).is_err());
+    }
+
+    #[test]
+    fn baseline_keeps_two_extra_indexes() {
+        // §A.3: bsl maintains _id + compound + date; hil only _id +
+        // shard-key compound.
+        let bsl = small_store(Approach::BslST);
+        assert_eq!(bsl.index_sizes().len(), 3);
+        let hil = small_store(Approach::Hil);
+        assert_eq!(hil.index_sizes().len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Store configuration.
+
+use crate::approach::Approach;
+use sts_curve::RangeBudget;
+use sts_geo::GeoRect;
+use sts_query::Planner;
+
+/// Everything needed to deploy one sharded spatio-temporal store.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Which method (§5.1) to run.
+    pub approach: Approach,
+    /// Number of shards (the paper uses 12).
+    pub num_shards: usize,
+    /// Chunk split threshold in bytes (64 MB in MongoDB; scale with
+    /// your data so chunk counts stay realistic).
+    pub max_chunk_bytes: u64,
+    /// Hilbert curve order, bits per axis (paper: 13).
+    pub curve_order: u32,
+    /// GeoHash precision of 2dsphere index keys (MongoDB default 26).
+    pub geo_bits: u32,
+    /// Data MBR — the extent `hil*` fits its curve to. Ignored by the
+    /// other approaches.
+    pub data_mbr: GeoRect,
+    /// Budget for Hilbert range decomposition per query (§4.2.2's
+    /// `$or` size).
+    pub range_budget: RangeBudget,
+    /// Per-shard query planner settings.
+    pub planner: Planner,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            approach: Approach::Hil,
+            num_shards: 12,
+            max_chunk_bytes: 640 * 1024,
+            curve_order: sts_curve::PAPER_CURVE_ORDER,
+            geo_bits: sts_geo::DEFAULT_GEOHASH_BITS,
+            // The paper's real data set MBR (§5.1) — a sensible default
+            // for examples; override for your data.
+            data_mbr: GeoRect::new(19.632533, 34.929233, 28.245285, 41.757797),
+            range_budget: RangeBudget::default(),
+            planner: Planner::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = StoreConfig::default();
+        assert_eq!(c.num_shards, 12);
+        assert_eq!(c.curve_order, 13);
+        assert_eq!(c.geo_bits, 26);
+    }
+}

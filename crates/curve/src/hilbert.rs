@@ -1,0 +1,161 @@
+//! The 2D Hilbert curve.
+//!
+//! Classic iterative formulation: descend the quadtree one level at a
+//! time, tracking the reflection/rotation of the curve within each
+//! quadrant. Supports any order up to 31 (a 62-bit index), far beyond
+//! the paper's 13-bit-per-axis configuration.
+
+/// Maximum supported curve order (bits per axis).
+pub const MAX_ORDER: u32 = 31;
+
+/// Map grid coordinates to the Hilbert index. `order` is bits per axis;
+/// `x`, `y` must be `< 2^order`.
+pub fn xy2d(order: u32, x: u64, y: u64) -> u64 {
+    debug_assert!(order <= MAX_ORDER);
+    debug_assert!(x < (1 << order) && y < (1 << order));
+    if order == 0 {
+        return 0;
+    }
+    let n: u64 = 1 << order;
+    let (mut x, mut y) = (x, y);
+    let mut d: u64 = 0;
+    let mut s: u64 = n / 2;
+    while s > 0 {
+        let rx = u64::from(x & s > 0);
+        let ry = u64::from(y & s > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant so the sub-curve is in canonical position.
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`xy2d`]: map a Hilbert index back to grid coordinates.
+pub fn d2xy(order: u32, d: u64) -> (u64, u64) {
+    debug_assert!(order <= MAX_ORDER);
+    debug_assert!(order == 0 || d < (1u64 << (2 * order)));
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s: u64 = 1;
+    while s < (1 << order) {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // Rotate back.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn order_one_layout() {
+        // The order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+        assert_eq!(d2xy(1, 0), (0, 0));
+        assert_eq!(d2xy(1, 1), (0, 1));
+        assert_eq!(d2xy(1, 2), (1, 1));
+        assert_eq!(d2xy(1, 3), (1, 0));
+    }
+
+    #[test]
+    fn exhaustive_bijection_small_orders() {
+        for order in 1..=6u32 {
+            let n = 1u64 << (2 * order);
+            let mut seen = vec![false; n as usize];
+            for d in 0..n {
+                let (x, y) = d2xy(order, d);
+                assert!(x < (1 << order) && y < (1 << order));
+                assert_eq!(xy2d(order, x, y), d, "order {order} d {d}");
+                let idx = (y * (1 << order) + x) as usize;
+                assert!(!seen[idx], "cell visited twice");
+                seen[idx] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbours() {
+        // The defining Hilbert property: steps of 1 along the curve move
+        // exactly one cell in the grid.
+        for order in [1u32, 3, 5, 8] {
+            let n = 1u64 << (2 * order);
+            let mut prev = d2xy(order, 0);
+            for d in 1..n.min(1 << 16) {
+                let cur = d2xy(order, d);
+                let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+                assert_eq!(dist, 1, "order {order} d {d}: {prev:?} -> {cur:?}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn high_order_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for order in [13u32, 16, 24, 31] {
+            for _ in 0..500 {
+                // Fully qualified: proptest's prelude re-exports a newer
+                // `Rng` trait that would otherwise shadow rand 0.8's.
+                let x = rand::Rng::gen_range(&mut rng, 0..(1u64 << order));
+                let y = rand::Rng::gen_range(&mut rng, 0..(1u64 << order));
+                let d = xy2d(order, x, y);
+                assert_eq!(d2xy(order, d), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_blocks_are_contiguous() {
+        // Any aligned 2^k x 2^k block occupies one contiguous index range
+        // of length 4^k — the property range decomposition relies on.
+        let order = 6u32;
+        for k in 1..=4u32 {
+            let size = 1u64 << k;
+            for bx in (0..(1u64 << order)).step_by(size as usize) {
+                for by in (0..(1u64 << order)).step_by(size as usize) {
+                    let base = xy2d(order, bx, by) & !(size * size - 1);
+                    for dx in 0..size {
+                        for dy in 0..size {
+                            let d = xy2d(order, bx + dx, by + dy);
+                            assert!(
+                                (base..base + size * size).contains(&d),
+                                "block ({bx},{by}) size {size} not contiguous"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_order13(x in 0u64..(1 << 13), y in 0u64..(1 << 13)) {
+            let d = xy2d(13, x, y);
+            prop_assert!(d < (1 << 26));
+            prop_assert_eq!(d2xy(13, d), (x, y));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Curve-grid edge cases: extreme budgets, order-1 grids, rects that
+//! clip the extent.
+
+use sts_curve::{CurveGrid, CurveKind, RangeBudget};
+use sts_geo::{GeoPoint, GeoRect};
+
+fn unit(order: u32) -> CurveGrid {
+    CurveGrid::new(GeoRect::new(0.0, 0.0, 1.0, 1.0), order, CurveKind::Hilbert)
+}
+
+#[test]
+fn budget_of_one_yields_single_superset_range() {
+    let g = unit(8);
+    let rect = GeoRect::new(0.1, 0.1, 0.9, 0.15); // fragmented strip
+    let exact = g.decompose_rect(&rect, RangeBudget::UNLIMITED);
+    assert!(exact.len() > 1);
+    let one = g.decompose_rect(&rect, RangeBudget::new(1));
+    assert_eq!(one.len(), 1);
+    assert!(one[0].0 <= exact[0].0);
+    assert!(one[0].1 >= exact.last().unwrap().1);
+}
+
+#[test]
+fn order_one_grid_works() {
+    let g = unit(1);
+    assert_eq!(g.total_cells(), 4);
+    let all = g.decompose_rect(&GeoRect::new(0.0, 0.0, 1.0, 1.0), RangeBudget::UNLIMITED);
+    assert_eq!(all, vec![(0, 3)]);
+    for (x, y) in [(0.2, 0.2), (0.8, 0.2), (0.2, 0.8), (0.8, 0.8)] {
+        let d = g.index_of(GeoPoint::new(x, y));
+        assert!(d < 4);
+    }
+}
+
+#[test]
+fn rect_clipping_the_extent_clamps() {
+    let g = unit(6);
+    // Rect half outside the extent: decomposition covers the inside part.
+    let rect = GeoRect::new(-0.5, -0.5, 0.25, 0.25);
+    let ranges = g.decompose_rect(&rect, RangeBudget::UNLIMITED);
+    assert!(!ranges.is_empty());
+    let span: u64 = ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+    // Covers exactly the intersected quarter-ish of cells: 16×16 = 256.
+    assert_eq!(span, 17 * 17, "16 interior cells + clamped border row/col");
+}
+
+#[test]
+fn zero_budget_is_clamped_to_one() {
+    let g = unit(5);
+    let rect = GeoRect::new(0.1, 0.1, 0.9, 0.2);
+    let r = g.decompose_rect(&rect, RangeBudget::new(0));
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn ranges_always_cover_contained_points() {
+    let g = unit(9);
+    let rect = GeoRect::new(0.33, 0.41, 0.57, 0.66);
+    for budget in [1usize, 2, 7, 64, usize::MAX] {
+        let ranges = g.decompose_rect(&rect, RangeBudget::new(budget.min(1 << 20)));
+        for i in 0..10 {
+            for j in 0..10 {
+                let p = GeoPoint::new(
+                    0.33 + 0.24 * f64::from(i) / 9.0,
+                    0.41 + 0.25 * f64::from(j) / 9.0,
+                );
+                let d = g.index_of(p);
+                assert!(
+                    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&d)),
+                    "budget {budget}: point {p:?} uncovered"
+                );
+            }
+        }
+    }
+}

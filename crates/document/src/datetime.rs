@@ -1,0 +1,233 @@
+//! Millisecond-precision UTC datetimes with a small ISO-8601 parser.
+//!
+//! The store does not need a full calendar library: documents carry UTC
+//! instants ("ISODate" in MongoDB terms) and queries compare them as
+//! integers. Conversion to and from civil dates uses Howard Hinnant's
+//! `days_from_civil` algorithm, which is exact over the entire proleptic
+//! Gregorian calendar.
+
+use crate::error::{DocError, Result};
+use std::fmt;
+
+/// Milliseconds in one second/minute/hour/day, used throughout the repo.
+pub const MS_PER_SEC: i64 = 1_000;
+/// Milliseconds per minute.
+pub const MS_PER_MIN: i64 = 60 * MS_PER_SEC;
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
+/// Milliseconds per day.
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+/// A UTC instant with millisecond precision (like BSON's ISODate).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DateTime(i64);
+
+impl DateTime {
+    /// Create from raw milliseconds since the Unix epoch.
+    pub const fn from_millis(ms: i64) -> Self {
+        DateTime(ms)
+    }
+
+    /// Milliseconds since the Unix epoch.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Build from civil date/time components (UTC).
+    ///
+    /// `month` is 1..=12, `day` is 1..=31. Components are not range-checked
+    /// beyond what arithmetic requires; out-of-range days simply roll over,
+    /// matching the behaviour of the arithmetic conversion.
+    pub fn from_ymd_hms(y: i32, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Self {
+        let days = days_from_civil(y, m, d);
+        let ms = days * MS_PER_DAY
+            + i64::from(hh) * MS_PER_HOUR
+            + i64::from(mm) * MS_PER_MIN
+            + i64::from(ss) * MS_PER_SEC;
+        DateTime(ms)
+    }
+
+    /// Decompose into `(year, month, day, hour, minute, second, millis)`.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32, u32) {
+        let ms = self.0;
+        let days = ms.div_euclid(MS_PER_DAY);
+        let rem = ms.rem_euclid(MS_PER_DAY);
+        let (y, m, d) = civil_from_days(days);
+        let hh = (rem / MS_PER_HOUR) as u32;
+        let mm = ((rem % MS_PER_HOUR) / MS_PER_MIN) as u32;
+        let ss = ((rem % MS_PER_MIN) / MS_PER_SEC) as u32;
+        let msec = (rem % MS_PER_SEC) as u32;
+        (y, m, d, hh, mm, ss, msec)
+    }
+
+    /// Parse the ISO-8601 subset `YYYY-MM-DDTHH:MM:SS[.mmm]Z`
+    /// (also accepts a space instead of `T`, and a missing trailing `Z`).
+    pub fn parse_iso(s: &str) -> Result<Self> {
+        let bad = || DocError::BadDateTime(s.to_string());
+        let b = s.as_bytes();
+        if b.len() < 19 {
+            return Err(bad());
+        }
+        let num = |r: std::ops::Range<usize>| -> Result<i64> {
+            s.get(r)
+                .and_then(|t| t.parse::<i64>().ok())
+                .ok_or_else(bad)
+        };
+        if b[4] != b'-' || b[7] != b'-' || (b[10] != b'T' && b[10] != b' ') {
+            return Err(bad());
+        }
+        if b[13] != b':' || b[16] != b':' {
+            return Err(bad());
+        }
+        let y = num(0..4)? as i32;
+        let mo = num(5..7)? as u32;
+        let d = num(8..10)? as u32;
+        let hh = num(11..13)? as u32;
+        let mm = num(14..16)? as u32;
+        let ss = num(17..19)? as u32;
+        if mo == 0 || mo > 12 || d == 0 || d > 31 || hh > 23 || mm > 59 || ss > 60 {
+            return Err(bad());
+        }
+        let mut ms = 0i64;
+        let mut idx = 19;
+        if b.len() > idx && b[idx] == b'.' {
+            let start = idx + 1;
+            let mut end = start;
+            while end < b.len() && b[end].is_ascii_digit() {
+                end += 1;
+            }
+            if end == start {
+                return Err(bad());
+            }
+            // Normalize fractional digits to milliseconds (first 3 digits).
+            let frac = &s[start..end.min(start + 3)];
+            let mut v: i64 = frac.parse().map_err(|_| bad())?;
+            for _ in frac.len()..3 {
+                v *= 10;
+            }
+            ms = v;
+            idx = end;
+        }
+        if idx < b.len() && &s[idx..] != "Z" {
+            return Err(bad());
+        }
+        Ok(DateTime(
+            DateTime::from_ymd_hms(y, mo, d, hh, mm, ss).0 + ms,
+        ))
+    }
+
+    /// Format as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+    pub fn to_iso(self) -> String {
+        let (y, mo, d, hh, mm, ss, ms) = self.to_civil();
+        format!("{y:04}-{mo:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}.{ms:03}Z")
+    }
+
+    /// Add a number of milliseconds.
+    pub fn plus_millis(self, ms: i64) -> Self {
+        DateTime(self.0 + ms)
+    }
+}
+
+impl fmt::Debug for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ISODate({})", self.to_iso())
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_iso())
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(DateTime::from_ymd_hms(1970, 1, 1, 0, 0, 0).millis(), 0);
+    }
+
+    #[test]
+    fn roundtrip_civil() {
+        let dt = DateTime::from_ymd_hms(2018, 10, 1, 8, 34, 40);
+        assert_eq!(dt.to_civil(), (2018, 10, 1, 8, 34, 40, 0));
+    }
+
+    #[test]
+    fn parse_paper_example() {
+        let dt = DateTime::parse_iso("2018-10-01T08:34:40.067Z").unwrap();
+        assert_eq!(dt.to_iso(), "2018-10-01T08:34:40.067Z");
+    }
+
+    #[test]
+    fn parse_without_fraction_or_z() {
+        let a = DateTime::parse_iso("2018-07-15T00:00:00Z").unwrap();
+        let b = DateTime::parse_iso("2018-07-15 00:00:00").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "2018", "2018-13-01T00:00:00Z", "2018-10-01X00:00:00Z"] {
+            assert!(DateTime::parse_iso(s).is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn fraction_normalization() {
+        let a = DateTime::parse_iso("2018-10-01T00:00:00.5Z").unwrap();
+        assert_eq!(a.millis() % 1000, 500);
+        let b = DateTime::parse_iso("2018-10-01T00:00:00.123456Z").unwrap();
+        assert_eq!(b.millis() % 1000, 123);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let feb29 = DateTime::from_ymd_hms(2020, 2, 29, 12, 0, 0);
+        assert_eq!(feb29.to_civil().0..=feb29.to_civil().0, 2020..=2020);
+        assert_eq!(feb29.to_civil().1, 2);
+        assert_eq!(feb29.to_civil().2, 29);
+    }
+
+    #[test]
+    fn negative_epoch_dates() {
+        let dt = DateTime::from_ymd_hms(1969, 12, 31, 23, 59, 59);
+        assert_eq!(dt.millis(), -1000);
+        assert_eq!(dt.to_civil(), (1969, 12, 31, 23, 59, 59, 0));
+    }
+
+    #[test]
+    fn ordering_matches_time() {
+        let a = DateTime::parse_iso("2018-07-01T00:00:00Z").unwrap();
+        let b = DateTime::parse_iso("2018-11-30T23:59:59Z").unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,179 @@
+//! MongoDB-compatible 12-byte object identifiers.
+//!
+//! Layout (as the paper describes in §3.1): a 4-byte big-endian timestamp,
+//! a 5-byte per-process random value, and a 3-byte incrementing counter
+//! initialized to a random value. The timestamp prefix is what makes `_id`
+//! indexes prefix-compressible when documents are inserted in time order —
+//! an effect the paper measures in Fig. 14.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// A 12-byte unique document identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId([u8; 12]);
+
+struct Generator {
+    process_random: [u8; 5],
+    counter: AtomicU32,
+}
+
+fn generator() -> &'static Generator {
+    static GEN: OnceLock<Generator> = OnceLock::new();
+    GEN.get_or_init(|| {
+        let mut pr = [0u8; 5];
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed)
+            ^ (std::process::id() as u64).rotate_left(32);
+        // splitmix64 to whiten the seed; avoids pulling `rand` into the
+        // hot ObjectId path.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let r = next();
+        pr.copy_from_slice(&r.to_be_bytes()[..5]);
+        Generator {
+            process_random: pr,
+            counter: AtomicU32::new((next() & 0x00FF_FFFF) as u32),
+        }
+    })
+}
+
+impl ObjectId {
+    /// Generate a fresh id stamped with the current wall-clock second.
+    pub fn new() -> Self {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as u32)
+            .unwrap_or(0);
+        Self::with_timestamp(secs)
+    }
+
+    /// Generate an id carrying an explicit timestamp (seconds since epoch).
+    ///
+    /// Workload generators use this to reproduce insertion-time ordering of
+    /// `_id` values deterministically.
+    pub fn with_timestamp(secs: u32) -> Self {
+        let g = generator();
+        let ctr = g.counter.fetch_add(1, Ordering::Relaxed) & 0x00FF_FFFF;
+        let mut b = [0u8; 12];
+        b[..4].copy_from_slice(&secs.to_be_bytes());
+        b[4..9].copy_from_slice(&g.process_random);
+        b[9..].copy_from_slice(&ctr.to_be_bytes()[1..]);
+        ObjectId(b)
+    }
+
+    /// Construct from raw bytes.
+    pub const fn from_bytes(b: [u8; 12]) -> Self {
+        ObjectId(b)
+    }
+
+    /// The raw 12 bytes.
+    pub const fn bytes(&self) -> &[u8; 12] {
+        &self.0
+    }
+
+    /// The embedded timestamp (seconds since epoch).
+    pub fn timestamp(&self) -> u32 {
+        u32::from_be_bytes([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// Parse a 24-character lowercase/uppercase hex string.
+    pub fn parse_hex(s: &str) -> crate::Result<Self> {
+        let bad = || crate::DocError::BadObjectId(s.to_string());
+        if s.len() != 24 {
+            return Err(bad());
+        }
+        let mut b = [0u8; 12];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16).ok_or_else(bad)?;
+            let lo = (chunk[1] as char).to_digit(16).ok_or_else(bad)?;
+            b[i] = ((hi << 4) | lo) as u8;
+        }
+        Ok(ObjectId(b))
+    }
+
+    /// Hex representation (24 chars).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(24);
+        for b in &self.0 {
+            s.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+            s.push(char::from_digit(u32::from(b & 0xf), 16).unwrap());
+        }
+        s
+    }
+}
+
+impl Default for ObjectId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn unique_ids() {
+        let ids: HashSet<_> = (0..10_000).map(|_| ObjectId::new()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn timestamp_roundtrip() {
+        let id = ObjectId::with_timestamp(1_538_383_680);
+        assert_eq!(id.timestamp(), 1_538_383_680);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let id = ObjectId::new();
+        assert_eq!(ObjectId::parse_hex(&id.to_hex()).unwrap(), id);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(ObjectId::parse_hex("zz").is_err());
+        assert!(ObjectId::parse_hex(&"g".repeat(24)).is_err());
+    }
+
+    #[test]
+    fn ids_with_same_timestamp_share_prefix() {
+        let a = ObjectId::with_timestamp(42);
+        let b = ObjectId::with_timestamp(42);
+        assert_eq!(a.bytes()[..9], b.bytes()[..9]);
+        assert_ne!(a.bytes()[9..], b.bytes()[9..]);
+    }
+
+    #[test]
+    fn counter_orders_ids_within_second() {
+        let a = ObjectId::with_timestamp(42);
+        let b = ObjectId::with_timestamp(42);
+        // Counter wraps at 2^24; consecutive calls almost always ascend.
+        if b.bytes()[9..] != [0, 0, 0] {
+            assert!(a < b);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Dynamically typed field values with BSON-style canonical ordering.
+
+use crate::{DateTime, Document, ObjectId};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A field value. Mirrors the BSON subset the store needs.
+#[derive(Clone, PartialEq)]
+pub enum Value {
+    /// Explicit null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 32-bit integer.
+    Int32(i32),
+    /// 64-bit integer (used for `hilbertIndex`).
+    Int64(i64),
+    /// IEEE-754 double (used for coordinates).
+    Double(f64),
+    /// UTF-8 string.
+    String(String),
+    /// Ordered array of values.
+    Array(Vec<Value>),
+    /// Nested document (used for GeoJSON points).
+    Document(Document),
+    /// UTC datetime ("ISODate").
+    DateTime(DateTime),
+    /// 12-byte unique id.
+    ObjectId(ObjectId),
+}
+
+/// Discriminant of a [`Value`], in BSON canonical comparison order.
+///
+/// BSON compares values of different types by a fixed type ranking
+/// (Null < Numbers < String < Object < Array < ObjectId < Boolean < Date).
+/// The store relies on this for index key ordering of mixed-type fields.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum ValueKind {
+    /// Null rank.
+    Null = 0,
+    /// All numeric types share one rank and compare numerically.
+    Number = 1,
+    /// String rank.
+    String = 2,
+    /// Embedded document rank.
+    Document = 3,
+    /// Array rank.
+    Array = 4,
+    /// ObjectId rank.
+    ObjectId = 5,
+    /// Boolean rank.
+    Bool = 6,
+    /// Datetime rank.
+    DateTime = 7,
+}
+
+impl Value {
+    /// Canonical comparison rank of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Int32(_) | Value::Int64(_) | Value::Double(_) => ValueKind::Number,
+            Value::String(_) => ValueKind::String,
+            Value::Document(_) => ValueKind::Document,
+            Value::Array(_) => ValueKind::Array,
+            Value::ObjectId(_) => ValueKind::ObjectId,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::DateTime(_) => ValueKind::DateTime,
+        }
+    }
+
+    /// Human-readable type name (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int32(_) => "int32",
+            Value::Int64(_) => "int64",
+            Value::Double(_) => "double",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Document(_) => "document",
+            Value::DateTime(_) => "datetime",
+            Value::ObjectId(_) => "objectId",
+        }
+    }
+
+    /// Numeric view (int32/int64/double), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int32(v) => Some(f64::from(*v)),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if an integer type.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(i64::from(*v)),
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Datetime view.
+    pub fn as_datetime(&self) -> Option<DateTime> {
+        match self {
+            Value::DateTime(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Embedded document view.
+    pub fn as_document(&self) -> Option<&Document> {
+        match self {
+            Value::Document(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// BSON canonical ordering across types; total (NaN sorts below all
+    /// other numbers, like MongoDB).
+    pub fn canonical_cmp(&self, other: &Value) -> Ordering {
+        let (ka, kb) = (self.kind(), other.kind());
+        if ka != kb {
+            return ka.cmp(&kb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) if ka == ValueKind::Number => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                total_f64_cmp(x, y)
+            }
+            (Value::String(a), Value::String(b)) => a.cmp(b),
+            (Value::Document(a), Value::Document(b)) => a.canonical_cmp(b),
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.canonical_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::ObjectId(a), Value::ObjectId(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::DateTime(a), Value::DateTime(b)) => a.cmp(b),
+            _ => unreachable!("kinds matched above"),
+        }
+    }
+}
+
+/// Total order on doubles: NaN < -inf < … < +inf (MongoDB sorts NaN lowest
+/// among numbers).
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).unwrap(),
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}L"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::String(v) => write!(f, "{v:?}"),
+            Value::Array(v) => f.debug_list().entries(v).finish(),
+            Value::Document(v) => write!(f, "{v:?}"),
+            Value::DateTime(v) => write!(f, "{v:?}"),
+            Value::ObjectId(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int64(i64::from(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+impl From<Document> for Value {
+    fn from(v: Document) -> Self {
+        Value::Document(v)
+    }
+}
+impl From<DateTime> for Value {
+    fn from(v: DateTime) -> Self {
+        Value::DateTime(v)
+    }
+}
+impl From<ObjectId> for Value {
+    fn from(v: ObjectId) -> Self {
+        Value::ObjectId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    #[test]
+    fn type_ranking_order() {
+        let vals = [
+            Value::Null,
+            Value::Int32(999),
+            Value::String("a".into()),
+            Value::Document(doc! {"x" => 1}),
+            Value::Array(vec![Value::Int32(1)]),
+            Value::ObjectId(ObjectId::with_timestamp(0)),
+            Value::Bool(false),
+            Value::DateTime(DateTime::from_millis(0)),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].canonical_cmp(&w[1]), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn numbers_compare_across_types() {
+        assert_eq!(
+            Value::Int32(2).canonical_cmp(&Value::Double(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Int64(3).canonical_cmp(&Value::Double(2.5)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn nan_sorts_below_numbers() {
+        assert_eq!(
+            Value::Double(f64::NAN).canonical_cmp(&Value::Double(f64::NEG_INFINITY)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn array_lexicographic() {
+        let a = Value::Array(vec![Value::Int32(1), Value::Int32(2)]);
+        let b = Value::Array(vec![Value::Int32(1), Value::Int32(3)]);
+        let c = Value::Array(vec![Value::Int32(1)]);
+        assert_eq!(a.canonical_cmp(&b), Ordering::Less);
+        assert_eq!(c.canonical_cmp(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int32(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Int64(5).as_i64(), Some(5));
+        assert_eq!(Value::Double(5.0).as_i64(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.as_f64().is_none());
+    }
+}

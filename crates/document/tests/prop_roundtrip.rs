@@ -1,0 +1,116 @@
+//! Property tests over arbitrary document trees: serialization
+//! roundtrips, size accounting, and ordering consistency.
+
+use proptest::prelude::*;
+use sts_document::{
+    decode_document, encode_document, encoded_size, DateTime, Document, ObjectId, Value,
+};
+
+/// Arbitrary scalar values.
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::Int32),
+        any::<i64>().prop_map(Value::Int64),
+        // Finite doubles only: NaN breaks PartialEq-based roundtrip
+        // comparison (the encoding itself preserves the NaN bit pattern).
+        prop_oneof![
+            any::<f64>().prop_filter("finite", |x| x.is_finite()),
+            Just(0.0),
+            Just(-0.0)
+        ]
+        .prop_map(Value::Double),
+        "[a-zA-Z0-9 _.-]{0,24}".prop_map(Value::from),
+        any::<i64>().prop_map(|ms| Value::DateTime(DateTime::from_millis(ms))),
+        any::<[u8; 12]>().prop_map(|b| Value::ObjectId(ObjectId::from_bytes(b))),
+    ]
+}
+
+/// Arbitrary value trees up to depth 3.
+fn value_tree() -> impl Strategy<Value = Value> {
+    scalar().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..5).prop_map(|fields| {
+                let mut d = Document::new();
+                for (k, v) in fields {
+                    d.set(k, v);
+                }
+                Value::Document(d)
+            }),
+        ]
+    })
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,11}", value_tree()), 0..10).prop_map(
+        |fields| {
+            let mut d = Document::new();
+            for (k, v) in fields {
+                d.set(k, v);
+            }
+            d
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip(d in document()) {
+        let bytes = encode_document(&d);
+        let back = decode_document(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&back, &d);
+    }
+
+    #[test]
+    fn encoded_size_is_exact(d in document()) {
+        prop_assert_eq!(encoded_size(&d), encode_document(&d).len());
+    }
+
+    #[test]
+    fn truncation_never_panics(d in document(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_document(&d);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // Must return an error or — only when the cut kept everything —
+        // the document; never panic.
+        if let Ok(back) = decode_document(&bytes[..cut]) {
+            prop_assert_eq!(cut, bytes.len());
+            prop_assert_eq!(back, d);
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(d in document(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let mut bytes = encode_document(&d);
+        if bytes.len() > 5 {
+            let i = pos.index(bytes.len());
+            bytes[i] ^= flip;
+            // Any outcome but a panic is acceptable; a successful decode
+            // must at least produce *some* document.
+            let _ = decode_document(&bytes);
+        }
+    }
+
+    #[test]
+    fn canonical_cmp_is_consistent_with_equality(a in value_tree(), b in value_tree()) {
+        use std::cmp::Ordering;
+        let ord = a.canonical_cmp(&b);
+        let rev = b.canonical_cmp(&a);
+        prop_assert_eq!(ord, rev.reverse(), "antisymmetry");
+        if a == b {
+            prop_assert_eq!(ord, Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn canonical_cmp_is_transitive(a in scalar(), b in scalar(), c in scalar()) {
+        use std::cmp::Ordering::*;
+        let (ab, bc, ac) = (a.canonical_cmp(&b), b.canonical_cmp(&c), a.canonical_cmp(&c));
+        if ab != Greater && bc != Greater {
+            prop_assert_ne!(ac, Greater, "{:?} <= {:?} <= {:?}", a, b, c);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-cutting value semantics: ObjectId generation under load-order
+//! stamping, datetime arithmetic, document path quirks.
+
+use sts_document::{doc, DateTime, Document, ObjectId, Value};
+
+#[test]
+fn objectid_prefix_compression_premise() {
+    // §A.3's premise: ids generated in the same second share a 9-byte
+    // prefix; ids from different seconds diverge in the first 4 bytes.
+    let a = ObjectId::with_timestamp(1_000);
+    let b = ObjectId::with_timestamp(1_000);
+    let c = ObjectId::with_timestamp(2_000);
+    let common = |x: &ObjectId, y: &ObjectId| {
+        x.bytes()
+            .iter()
+            .zip(y.bytes())
+            .take_while(|(p, q)| p == q)
+            .count()
+    };
+    assert!(common(&a, &b) >= 9);
+    assert!(common(&a, &c) < 4);
+}
+
+#[test]
+fn datetime_day_arithmetic_is_exact() {
+    let start = DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0);
+    let plus_153 = start.plus_millis(153 * 86_400_000);
+    assert_eq!(plus_153.to_civil(), (2018, 12, 1, 0, 0, 0, 0));
+    // Month boundaries.
+    let jul31 = DateTime::from_ymd_hms(2018, 7, 31, 23, 59, 59);
+    assert_eq!(jul31.plus_millis(1_000).to_civil().1, 8);
+}
+
+#[test]
+fn dotted_paths_with_numeric_field_names() {
+    // A document field literally named "0" is reachable; array indexing
+    // still works one level deeper.
+    let d = doc! {
+        "outer" => doc! {"0" => "field-not-index"},
+        "arr" => vec![Value::from("a"), Value::from("b")],
+    };
+    assert_eq!(d.get_path("outer.0").unwrap().as_str(), Some("field-not-index"));
+    assert_eq!(d.get_path("arr.1").unwrap().as_str(), Some("b"));
+    assert!(d.get_path("arr.x").is_none());
+    assert!(d.get_path("").is_none());
+}
+
+#[test]
+fn document_field_replacement_keeps_position() {
+    let mut d = Document::new();
+    d.set("a", 1i32);
+    d.set("b", 2i32);
+    d.set("a", 9i32); // replace in place
+    let order: Vec<&str> = d.iter().map(|(k, _)| k).collect();
+    assert_eq!(order, vec!["a", "b"]);
+    assert_eq!(d.get("a").unwrap().as_i64(), Some(9));
+}
+
+#[test]
+fn iso_formatting_is_stable_under_roundtrip() {
+    for iso in [
+        "2018-07-01T00:00:00.000Z",
+        "2018-12-31T23:59:59.999Z",
+        "1970-01-01T00:00:00.001Z",
+    ] {
+        let dt = DateTime::parse_iso(iso).unwrap();
+        assert_eq!(dt.to_iso(), iso);
+        assert_eq!(DateTime::parse_iso(&dt.to_iso()).unwrap(), dt);
+    }
+}

@@ -1,0 +1,74 @@
+//! LEB128 unsigned varints.
+
+/// Append `v` as a LEB128 varint.
+pub fn write_uvarint(v: u64, out: &mut Vec<u8>) {
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint starting at `pos`, advancing it.
+///
+/// Returns `None` on truncation or overflow (more than 10 bytes).
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F)
+            .checked_shl(shift)
+            .filter(|_| shift < 63 || byte & 0x7E == 0)?;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_returns_none() {
+        let mut buf = Vec::new();
+        write_uvarint(300, &mut buf);
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf[..1], &mut pos), None);
+    }
+
+    #[test]
+    fn sequence_decodes_in_order() {
+        let mut buf = Vec::new();
+        for v in [5u64, 1_000_000, 0] {
+            write_uvarint(v, &mut buf);
+        }
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), Some(5));
+        assert_eq!(read_uvarint(&buf, &mut pos), Some(1_000_000));
+        assert_eq!(read_uvarint(&buf, &mut pos), Some(0));
+        assert_eq!(pos, buf.len());
+    }
+}

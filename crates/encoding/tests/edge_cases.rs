@@ -1,0 +1,78 @@
+//! Edge cases of the memcomparable encoding that the in-module tests
+//! don't reach: reader misuse, deep nesting, sentinel interactions.
+
+use sts_document::{doc, DateTime, Document, Value};
+use sts_encoding::{decode_value, encode_value, KeyReader, KeyWriter, RANK_MAX, RANK_MIN};
+
+#[test]
+fn reader_on_truncated_key_returns_none() {
+    let enc = encode_value(&Value::from("hello"));
+    for cut in 0..enc.len() {
+        let mut r = KeyReader::new(&enc[..cut]);
+        assert!(r.next_value().is_none(), "cut={cut}");
+    }
+}
+
+#[test]
+fn reader_raw_u64_needs_eight_bytes() {
+    let mut w = KeyWriter::new();
+    w.push_raw_u64(7);
+    let key = w.finish();
+    let mut r = KeyReader::new(&key[..7]);
+    assert!(r.next_raw_u64().is_none());
+}
+
+#[test]
+fn deeply_nested_values_roundtrip() {
+    let mut v = Value::Int32(1);
+    for _ in 0..12 {
+        let mut d = Document::new();
+        d.set("k", v);
+        v = Value::Document(d);
+    }
+    let enc = encode_value(&v);
+    let mut pos = 0;
+    let back = decode_value(&enc, &mut pos).unwrap();
+    assert_eq!(pos, enc.len());
+    assert_eq!(back.canonical_cmp(&v), std::cmp::Ordering::Equal);
+}
+
+#[test]
+fn sentinel_bytes_are_extreme() {
+    // No encoded value may start with the sentinel ranks.
+    for v in [
+        Value::Null,
+        Value::Bool(true),
+        Value::Int64(i64::MAX),
+        Value::Double(f64::INFINITY),
+        Value::from("\u{10FFFF}"),
+        Value::DateTime(DateTime::from_millis(i64::MAX)),
+        Value::Array(vec![]),
+        Value::Document(doc! {}),
+    ] {
+        let enc = encode_value(&v);
+        assert_ne!(enc[0], RANK_MIN, "{v:?}");
+        assert_ne!(enc[0], RANK_MAX, "{v:?}");
+    }
+}
+
+#[test]
+fn empty_collections_order_before_populated() {
+    let empty_arr = encode_value(&Value::Array(vec![]));
+    let one_arr = encode_value(&Value::Array(vec![Value::Null]));
+    assert!(empty_arr < one_arr);
+    let empty_doc = encode_value(&Value::Document(doc! {}));
+    let one_doc = encode_value(&Value::Document(doc! {"a" => 1}));
+    assert!(empty_doc < one_doc);
+}
+
+#[test]
+fn writer_accessors() {
+    let mut w = KeyWriter::new();
+    assert!(w.is_empty());
+    w.push(&Value::Int64(1));
+    assert!(!w.is_empty());
+    assert_eq!(w.as_bytes().len(), w.len());
+    let snapshot = w.as_bytes().to_vec();
+    assert_eq!(w.finish(), snapshot);
+}

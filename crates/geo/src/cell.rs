@@ -1,0 +1,235 @@
+//! GeoHash cells: hierarchical bit-interleaved subdivision of lon/lat.
+
+use crate::point::GeoPoint;
+use crate::rect::GeoRect;
+use crate::WORLD;
+use sts_encoding::base32_encode;
+use std::fmt;
+
+/// A GeoHash cell: `level` interleaved bits (longitude first), stored
+/// right-aligned in `bits`.
+///
+/// Level 0 is the whole world; each extra bit halves the cell along the
+/// next dimension (lon, lat, lon, …), exactly the hierarchical
+/// subdivision §2.1 of the paper describes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GeoHash {
+    bits: u64,
+    level: u32,
+}
+
+impl GeoHash {
+    /// Maximum supported precision in bits.
+    pub const MAX_LEVEL: u32 = 60;
+
+    /// The root cell (whole world).
+    pub const ROOT: GeoHash = GeoHash { bits: 0, level: 0 };
+
+    /// Construct from raw parts. Panics if `level` exceeds
+    /// [`MAX_LEVEL`](Self::MAX_LEVEL) or `bits` has stray high bits.
+    pub fn from_parts(bits: u64, level: u32) -> Self {
+        assert!(level <= Self::MAX_LEVEL, "geohash level {level} too deep");
+        assert!(
+            level == 64 || bits >> level == 0,
+            "bits beyond level {level}"
+        );
+        GeoHash { bits, level }
+    }
+
+    /// Encode a point at the given bit precision.
+    pub fn encode(p: GeoPoint, level: u32) -> Self {
+        assert!(level <= Self::MAX_LEVEL, "geohash level {level} too deep");
+        let mut bits = 0u64;
+        let (mut lon_lo, mut lon_hi) = (WORLD.min_lon, WORLD.max_lon);
+        let (mut lat_lo, mut lat_hi) = (WORLD.min_lat, WORLD.max_lat);
+        for i in 0..level {
+            bits <<= 1;
+            if i % 2 == 0 {
+                let mid = (lon_lo + lon_hi) / 2.0;
+                if p.lon >= mid {
+                    bits |= 1;
+                    lon_lo = mid;
+                } else {
+                    lon_hi = mid;
+                }
+            } else {
+                let mid = (lat_lo + lat_hi) / 2.0;
+                if p.lat >= mid {
+                    bits |= 1;
+                    lat_lo = mid;
+                } else {
+                    lat_hi = mid;
+                }
+            }
+        }
+        GeoHash { bits, level }
+    }
+
+    /// The raw interleaved bits (right-aligned).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Precision in bits.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The cell's bounding box.
+    pub fn bbox(&self) -> GeoRect {
+        let (mut lon_lo, mut lon_hi) = (WORLD.min_lon, WORLD.max_lon);
+        let (mut lat_lo, mut lat_hi) = (WORLD.min_lat, WORLD.max_lat);
+        for i in 0..self.level {
+            let bit = (self.bits >> (self.level - 1 - i)) & 1;
+            if i % 2 == 0 {
+                let mid = (lon_lo + lon_hi) / 2.0;
+                if bit == 1 {
+                    lon_lo = mid;
+                } else {
+                    lon_hi = mid;
+                }
+            } else {
+                let mid = (lat_lo + lat_hi) / 2.0;
+                if bit == 1 {
+                    lat_lo = mid;
+                } else {
+                    lat_hi = mid;
+                }
+            }
+        }
+        GeoRect::new(lon_lo, lat_lo, lon_hi, lat_hi)
+    }
+
+    /// The two child cells (next dimension split).
+    pub fn children(&self) -> [GeoHash; 2] {
+        let level = self.level + 1;
+        [
+            GeoHash {
+                bits: self.bits << 1,
+                level,
+            },
+            GeoHash {
+                bits: (self.bits << 1) | 1,
+                level,
+            },
+        ]
+    }
+
+    /// Parent cell (one bit coarser); `None` at the root.
+    pub fn parent(&self) -> Option<GeoHash> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(GeoHash {
+            bits: self.bits >> 1,
+            level: self.level - 1,
+        })
+    }
+
+    /// True when `other` is this cell or a descendant of it.
+    pub fn contains_cell(&self, other: &GeoHash) -> bool {
+        other.level >= self.level && (other.bits >> (other.level - self.level)) == self.bits
+    }
+
+    /// The inclusive range `[lo, hi]` this cell occupies in the key space
+    /// of full-precision (`total_bits`) GeoHash values. This is how a
+    /// coarse covering cell becomes a B-tree scan range.
+    pub fn range_at(&self, total_bits: u32) -> (u64, u64) {
+        assert!(total_bits >= self.level, "cell finer than key space");
+        let shift = total_bits - self.level;
+        let lo = self.bits << shift;
+        let hi = lo + ((1u64 << shift) - 1);
+        (lo, hi)
+    }
+
+    /// Base32 rendering (5 bits per character, zero-padded), e.g. Athens
+    /// at 25 bits is `"swbb5"`.
+    pub fn to_base32(&self) -> String {
+        let chars = self.level.div_ceil(5) as usize;
+        base32_encode(self.bits << (64 - self.level.max(1)), self.level, chars)
+    }
+}
+
+impl fmt::Debug for GeoHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GeoHash({:0width$b}/{})",
+            self.bits,
+            self.level,
+            width = self.level as usize
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ATHENS: GeoPoint = GeoPoint::new(23.727539, 37.983810);
+
+    #[test]
+    fn athens_matches_paper_base32() {
+        // §2.1: Athens at 5-character precision is "swbb5".
+        let cell = GeoHash::encode(ATHENS, 25);
+        assert_eq!(cell.to_base32(), "swbb5");
+        // The paper prints "swbb5ftzes" at 10 characters; reference
+        // implementations (and ours) produce "swbb5ftzex" for these exact
+        // coordinates — the paper's final character is off by one cell.
+        let cell = GeoHash::encode(ATHENS, 50);
+        assert_eq!(cell.to_base32(), "swbb5ftzex");
+    }
+
+    #[test]
+    fn bbox_contains_encoded_point() {
+        for level in [1, 2, 5, 13, 26] {
+            let cell = GeoHash::encode(ATHENS, level);
+            assert!(cell.bbox().contains(ATHENS), "level {level}");
+        }
+    }
+
+    #[test]
+    fn deeper_levels_nest() {
+        let coarse = GeoHash::encode(ATHENS, 10);
+        let fine = GeoHash::encode(ATHENS, 26);
+        assert!(coarse.contains_cell(&fine));
+        assert!(!fine.contains_cell(&coarse));
+        assert!(coarse.bbox().contains_rect(&fine.bbox()));
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let cell = GeoHash::encode(ATHENS, 8);
+        let [a, b] = cell.children();
+        assert_eq!(a.parent(), Some(cell));
+        assert_eq!(b.parent(), Some(cell));
+        let pb = cell.bbox();
+        let u = a.bbox().union(&b.bbox());
+        assert!((u.min_lon - pb.min_lon).abs() < 1e-12);
+        assert!((u.max_lat - pb.max_lat).abs() < 1e-12);
+        assert!(!a.bbox().contains(b.bbox().center()));
+    }
+
+    #[test]
+    fn range_at_full_precision() {
+        let cell = GeoHash::encode(ATHENS, 26);
+        assert_eq!(cell.range_at(26), (cell.bits(), cell.bits()));
+        let parent = cell.parent().unwrap();
+        let (lo, hi) = parent.range_at(26);
+        assert!(lo <= cell.bits() && cell.bits() <= hi);
+        assert_eq!(hi - lo, 1);
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        assert_eq!(GeoHash::ROOT.range_at(26), (0, (1 << 26) - 1));
+        assert!(GeoHash::ROOT.bbox().contains(ATHENS));
+        assert!(GeoHash::ROOT.parent().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "too deep")]
+    fn rejects_excessive_level() {
+        GeoHash::encode(ATHENS, 61);
+    }
+}

@@ -1,0 +1,38 @@
+//! Geometry primitives and GeoHash cells for the store's spatial support.
+//!
+//! MongoDB's spatial indexing (as the paper describes in §3.2) maps 2D
+//! points to hierarchical **GeoHash** cells — bit-interleaved subdivision
+//! of the lon/lat domain — and stores the resulting 26-bit values in an
+//! ordinary B-tree. This crate implements:
+//!
+//! * [`GeoPoint`] / [`GeoRect`] — positions and query rectangles with the
+//!   paper's `$geoWithin` semantics,
+//! * [`GeoHash`] — encode/decode at arbitrary bit precision plus base32
+//!   rendering (`"swbb5"` for Athens at 25 bits),
+//! * [`cover_rect`] — decompose a query rectangle into GeoHash cells, the
+//!   first phase of every 2dsphere index scan,
+//! * [`cells_to_ranges`] — turn a cell cover into sorted, merged 1D index
+//!   key ranges.
+
+mod cell;
+mod covering;
+mod point;
+mod polygon;
+mod rect;
+
+pub use cell::GeoHash;
+pub use covering::{cells_to_ranges, cover_rect};
+pub use point::{haversine_km, GeoPoint};
+pub use polygon::GeoPolygon;
+pub use rect::GeoRect;
+
+/// Default GeoHash precision MongoDB stores in 2dsphere indexes (§3.2).
+pub const DEFAULT_GEOHASH_BITS: u32 = 26;
+
+/// The full lon/lat domain.
+pub const WORLD: GeoRect = GeoRect {
+    min_lon: -180.0,
+    min_lat: -90.0,
+    max_lon: 180.0,
+    max_lat: 90.0,
+};

@@ -1,0 +1,72 @@
+//! Positions on the lon/lat plane.
+
+use std::fmt;
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS-84 position, longitude first (GeoJSON order).
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Longitude in degrees, −180..180.
+    pub lon: f64,
+    /// Latitude in degrees, −90..90.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Construct from longitude/latitude degrees.
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        GeoPoint { lon, lat }
+    }
+
+    /// True when both coordinates are finite and within the valid domain.
+    pub fn is_valid(&self) -> bool {
+        self.lon.is_finite()
+            && self.lat.is_finite()
+            && (-180.0..=180.0).contains(&self.lon)
+            && (-90.0..=90.0).contains(&self.lat)
+    }
+}
+
+impl fmt::Debug for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lon, self.lat)
+    }
+}
+
+/// Great-circle distance between two points, in kilometres.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lat2) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn athens_thessaloniki_distance() {
+        let athens = GeoPoint::new(23.727539, 37.983810);
+        let thessaloniki = GeoPoint::new(22.944608, 40.640063);
+        let d = haversine_km(athens, thessaloniki);
+        assert!((d - 302.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(10.0, 10.0);
+        assert!(haversine_km(p, p) < 1e-9);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(GeoPoint::new(23.7, 37.9).is_valid());
+        assert!(!GeoPoint::new(181.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, 91.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+    }
+}

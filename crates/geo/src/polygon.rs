@@ -1,0 +1,182 @@
+//! Simple polygons — the paper's §6 future-work data type.
+//!
+//! The store's query path needs exactly two things from a polygon: its
+//! bounding box (for index covering / Hilbert decomposition) and exact
+//! point containment (for residual refinement). Both are here; rings are
+//! simple (non-self-intersecting) and implicitly closed.
+
+use crate::point::GeoPoint;
+use crate::rect::GeoRect;
+
+/// A simple polygon on the lon/lat plane (exterior ring only, implicitly
+/// closed, vertices in any winding order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeoPolygon {
+    vertices: Vec<GeoPoint>,
+    bbox: GeoRect,
+}
+
+impl GeoPolygon {
+    /// Build from at least three vertices. Returns `None` for degenerate
+    /// input (fewer than 3 points or invalid coordinates).
+    pub fn new(vertices: Vec<GeoPoint>) -> Option<Self> {
+        if vertices.len() < 3 || !vertices.iter().all(GeoPoint::is_valid) {
+            return None;
+        }
+        let mut bbox = GeoRect::new(
+            vertices[0].lon,
+            vertices[0].lat,
+            vertices[0].lon,
+            vertices[0].lat,
+        );
+        for v in &vertices[1..] {
+            bbox.min_lon = bbox.min_lon.min(v.lon);
+            bbox.min_lat = bbox.min_lat.min(v.lat);
+            bbox.max_lon = bbox.max_lon.max(v.lon);
+            bbox.max_lat = bbox.max_lat.max(v.lat);
+        }
+        Some(GeoPolygon { vertices, bbox })
+    }
+
+    /// A rectangle as a polygon (for interop tests).
+    pub fn from_rect(r: &GeoRect) -> Self {
+        GeoPolygon::new(vec![
+            GeoPoint::new(r.min_lon, r.min_lat),
+            GeoPoint::new(r.max_lon, r.min_lat),
+            GeoPoint::new(r.max_lon, r.max_lat),
+            GeoPoint::new(r.min_lon, r.max_lat),
+        ])
+        .expect("valid rectangle")
+    }
+
+    /// Vertices of the exterior ring.
+    pub fn vertices(&self) -> &[GeoPoint] {
+        &self.vertices
+    }
+
+    /// Precomputed bounding box — what the index layer covers.
+    pub fn bbox(&self) -> &GeoRect {
+        &self.bbox
+    }
+
+    /// Exact containment via even–odd ray casting, with boundary points
+    /// treated as inside (matching `$geoWithin`'s closed semantics for
+    /// `GeoRect`).
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let n = self.vertices.len();
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            // On-edge check: collinear and within the segment's box.
+            let cross = (b.lon - a.lon) * (p.lat - a.lat) - (b.lat - a.lat) * (p.lon - a.lon);
+            if cross.abs() < 1e-12
+                && p.lon >= a.lon.min(b.lon) - 1e-12
+                && p.lon <= a.lon.max(b.lon) + 1e-12
+                && p.lat >= a.lat.min(b.lat) - 1e-12
+                && p.lat <= a.lat.max(b.lat) + 1e-12
+            {
+                return true;
+            }
+            // Even–odd rule on a horizontal ray to +∞.
+            if (a.lat > p.lat) != (b.lat > p.lat) {
+                let x_hit = a.lon + (p.lat - a.lat) / (b.lat - a.lat) * (b.lon - a.lon);
+                if p.lon < x_hit {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> GeoPolygon {
+        GeoPolygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(4.0, 0.0),
+            GeoPoint::new(2.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(GeoPolygon::new(vec![]).is_none());
+        assert!(
+            GeoPolygon::new(vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]).is_none()
+        );
+        assert!(GeoPolygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(200.0, 0.0), // invalid lon
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn triangle_containment() {
+        let t = triangle();
+        assert!(t.contains(GeoPoint::new(2.0, 1.0)));
+        assert!(!t.contains(GeoPoint::new(0.1, 3.0)));
+        assert!(!t.contains(GeoPoint::new(5.0, 0.5)));
+        // Vertices and edges count as inside.
+        assert!(t.contains(GeoPoint::new(0.0, 0.0)));
+        assert!(t.contains(GeoPoint::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn bbox_wraps_polygon() {
+        let t = triangle();
+        assert_eq!(*t.bbox(), GeoRect::new(0.0, 0.0, 4.0, 4.0));
+        // Everything inside the polygon is inside the bbox.
+        for (x, y) in [(1.0, 0.5), (2.0, 3.9), (3.0, 1.0)] {
+            let p = GeoPoint::new(x, y);
+            if t.contains(p) {
+                assert!(t.bbox().contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn rect_polygon_equals_rect_semantics() {
+        let r = GeoRect::new(23.7, 37.9, 23.8, 38.0);
+        let poly = GeoPolygon::from_rect(&r);
+        for (lon, lat) in [
+            (23.75, 37.95),
+            (23.7, 37.9),
+            (23.8, 38.0),
+            (23.69, 37.95),
+            (23.81, 38.01),
+        ] {
+            let p = GeoPoint::new(lon, lat);
+            assert_eq!(r.contains(p), poly.contains(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // A "U" shape: the notch is outside.
+        let u = GeoPolygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(6.0, 0.0),
+            GeoPoint::new(6.0, 5.0),
+            GeoPoint::new(4.0, 5.0),
+            GeoPoint::new(4.0, 2.0),
+            GeoPoint::new(2.0, 2.0),
+            GeoPoint::new(2.0, 5.0),
+            GeoPoint::new(0.0, 5.0),
+        ])
+        .unwrap();
+        assert!(u.contains(GeoPoint::new(1.0, 4.0)));
+        assert!(u.contains(GeoPoint::new(5.0, 4.0)));
+        assert!(!u.contains(GeoPoint::new(3.0, 4.0)), "the notch");
+        assert!(u.contains(GeoPoint::new(3.0, 1.0)), "the base");
+    }
+}

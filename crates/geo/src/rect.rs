@@ -1,0 +1,172 @@
+//! Axis-aligned query rectangles.
+
+use crate::point::{GeoPoint, EARTH_RADIUS_KM};
+use std::fmt;
+
+/// An axis-aligned rectangle on the lon/lat plane — the shape of every
+/// `$geoWithin` constraint in the paper's query workload.
+#[derive(Clone, Copy, PartialEq)]
+pub struct GeoRect {
+    /// Western edge (degrees).
+    pub min_lon: f64,
+    /// Southern edge (degrees).
+    pub min_lat: f64,
+    /// Eastern edge (degrees).
+    pub max_lon: f64,
+    /// Northern edge (degrees).
+    pub max_lat: f64,
+}
+
+impl GeoRect {
+    /// Build from `(lower, upper)` corners, as the paper specifies query
+    /// rectangles: `[(min_lon, min_lat), (max_lon, max_lat)]`.
+    pub const fn new(min_lon: f64, min_lat: f64, max_lon: f64, max_lat: f64) -> Self {
+        GeoRect {
+            min_lon,
+            min_lat,
+            max_lon,
+            max_lat,
+        }
+    }
+
+    /// Build from two corner points.
+    pub fn from_corners(lower: GeoPoint, upper: GeoPoint) -> Self {
+        GeoRect::new(lower.lon, lower.lat, upper.lon, upper.lat)
+    }
+
+    /// True when the rectangle is non-degenerate and within the domain.
+    pub fn is_valid(&self) -> bool {
+        GeoPoint::new(self.min_lon, self.min_lat).is_valid()
+            && GeoPoint::new(self.max_lon, self.max_lat).is_valid()
+            && self.min_lon <= self.max_lon
+            && self.min_lat <= self.max_lat
+    }
+
+    /// Closed-boundary containment (MongoDB's `$geoWithin` on a box treats
+    /// boundary points as inside).
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+
+    /// Closed-boundary rectangle intersection.
+    pub fn intersects(&self, other: &GeoRect) -> bool {
+        self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+            && self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &GeoRect) -> bool {
+        other.min_lon >= self.min_lon
+            && other.max_lon <= self.max_lon
+            && other.min_lat >= self.min_lat
+            && other.max_lat <= self.max_lat
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min_lon + self.max_lon) / 2.0,
+            (self.min_lat + self.max_lat) / 2.0,
+        )
+    }
+
+    /// Width in degrees of longitude.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Height in degrees of latitude.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Spherical surface area in km²:
+    /// `R² · Δλ · (sin φ₂ − sin φ₁)`.
+    pub fn area_km2(&self) -> f64 {
+        let dlon = self.lon_span().to_radians();
+        let band = self.max_lat.to_radians().sin() - self.min_lat.to_radians().sin();
+        EARTH_RADIUS_KM * EARTH_RADIUS_KM * dlon * band
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &GeoRect) -> GeoRect {
+        GeoRect::new(
+            self.min_lon.min(other.min_lon),
+            self.min_lat.min(other.min_lat),
+            self.max_lon.max(other.max_lon),
+            self.max_lat.max(other.max_lat),
+        )
+    }
+}
+
+impl fmt::Debug for GeoRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[({:.6}, {:.6}), ({:.6}, {:.6})]",
+            self.min_lon, self.min_lat, self.max_lon, self.max_lat
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's small-query rectangle (§5.1).
+    fn small_query_rect() -> GeoRect {
+        GeoRect::new(23.757495, 37.987295, 23.766958, 37.992997)
+    }
+
+    /// The paper's big-query rectangle (§5.1).
+    fn big_query_rect() -> GeoRect {
+        GeoRect::new(23.606039, 38.023982, 24.032754, 38.353926)
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let r = small_query_rect();
+        assert!(r.contains(GeoPoint::new(23.757495, 37.987295)));
+        assert!(r.contains(r.center()));
+        assert!(!r.contains(GeoPoint::new(23.75, 37.99)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = small_query_rect();
+        let b = big_query_rect();
+        assert!(!a.intersects(&b)); // paper's small/big rects are disjoint
+        assert!(a.intersects(&a));
+        let shifted = GeoRect::new(a.max_lon, a.min_lat, a.max_lon + 1.0, a.max_lat);
+        assert!(a.intersects(&shifted)); // shared edge counts
+    }
+
+    #[test]
+    fn big_rect_much_larger_than_small() {
+        // Paper: big rect ≈ 2,603× the area of the small rect.
+        let ratio = big_query_rect().area_km2() / small_query_rect().area_km2();
+        assert!(
+            (2_000.0..3_200.0).contains(&ratio),
+            "area ratio {ratio} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn union_and_contains_rect() {
+        let a = small_query_rect();
+        let b = big_query_rect();
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert!(!a.contains_rect(&b));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(small_query_rect().is_valid());
+        assert!(!GeoRect::new(2.0, 0.0, 1.0, 1.0).is_valid());
+        assert!(!GeoRect::new(-200.0, 0.0, 1.0, 1.0).is_valid());
+    }
+}

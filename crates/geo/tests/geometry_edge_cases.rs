@@ -1,0 +1,81 @@
+//! Geometry edge cases: domain borders, degenerate shapes, covering at
+//! extreme precisions.
+
+use sts_geo::{cells_to_ranges, cover_rect, GeoHash, GeoPoint, GeoPolygon, GeoRect, WORLD};
+
+#[test]
+fn domain_corner_points_encode() {
+    for (lon, lat) in [
+        (-180.0, -90.0),
+        (180.0, 90.0),
+        (-180.0, 90.0),
+        (180.0, -90.0),
+        (0.0, 0.0),
+    ] {
+        let p = GeoPoint::new(lon, lat);
+        assert!(p.is_valid());
+        let cell = GeoHash::encode(p, 26);
+        assert!(cell.bits() < (1 << 26));
+    }
+}
+
+#[test]
+fn degenerate_rect_is_a_point() {
+    let r = GeoRect::new(23.7, 37.9, 23.7, 37.9);
+    assert!(r.is_valid());
+    assert!(r.contains(GeoPoint::new(23.7, 37.9)));
+    assert_eq!(r.area_km2(), 0.0);
+    let cells = cover_rect(&r, 26, 16);
+    assert_eq!(cells.len(), 1, "a point needs exactly one cell");
+}
+
+#[test]
+fn covering_at_level_zero_is_root() {
+    let r = GeoRect::new(10.0, 10.0, 20.0, 20.0);
+    let cells = cover_rect(&r, 0, 16);
+    assert_eq!(cells.len(), 1);
+    assert_eq!(cells[0].level(), 0);
+    assert_eq!(cells_to_ranges(&cells, 26), vec![(0, (1 << 26) - 1)]);
+}
+
+#[test]
+fn world_rect_properties() {
+    assert!(WORLD.is_valid());
+    // Earth's surface ≈ 510M km².
+    let area = WORLD.area_km2();
+    assert!((5.0e8..5.2e8).contains(&area), "{area}");
+}
+
+#[test]
+fn rect_touching_but_disjoint() {
+    let a = GeoRect::new(0.0, 0.0, 1.0, 1.0);
+    let b = GeoRect::new(1.0, 0.0, 2.0, 1.0); // shares an edge
+    assert!(a.intersects(&b), "closed boundaries touch");
+    let c = GeoRect::new(1.0001, 0.0, 2.0, 1.0);
+    assert!(!a.intersects(&c));
+}
+
+#[test]
+fn polygon_collinear_vertices_ok() {
+    // A "triangle" with an extra collinear vertex along one edge.
+    let p = GeoPolygon::new(vec![
+        GeoPoint::new(0.0, 0.0),
+        GeoPoint::new(2.0, 0.0),
+        GeoPoint::new(4.0, 0.0),
+        GeoPoint::new(2.0, 3.0),
+    ])
+    .unwrap();
+    assert!(p.contains(GeoPoint::new(2.0, 1.0)));
+    assert!(p.contains(GeoPoint::new(2.0, 0.0)), "on the split edge");
+    assert!(!p.contains(GeoPoint::new(5.0, 0.0)));
+}
+
+#[test]
+fn geohash_sibling_ranges_are_adjacent() {
+    let cell = GeoHash::encode(GeoPoint::new(23.7, 37.9), 20);
+    let [a, b] = cell.children();
+    let (alo, ahi) = a.range_at(26);
+    let (blo, bhi) = b.range_at(26);
+    assert_eq!(ahi + 1, blo);
+    assert_eq!(cell.range_at(26), (alo, bhi));
+}

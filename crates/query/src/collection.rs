@@ -1,0 +1,241 @@
+//! One shard's collection slice: records + indexes + find.
+
+use crate::executor::execute_plan;
+use crate::explain::ExecutionStats;
+use crate::filter::Filter;
+use crate::plan::QueryPlan;
+use crate::planner::Planner;
+use sts_document::Document;
+use sts_index::{extract_key_values, IndexManager, IndexSpec};
+use sts_storage::{CollectionStats, CollectionStore, RecordId};
+
+/// A shard-local collection: the unit a `mongod` process manages.
+#[derive(Default)]
+pub struct LocalCollection {
+    store: CollectionStore,
+    indexes: IndexManager,
+}
+
+impl LocalCollection {
+    /// Empty collection with no indexes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an index over existing and future documents.
+    ///
+    /// Panics if documents already exist (the simulator always creates
+    /// indexes before loading, as the paper's methodology does).
+    pub fn create_index(&mut self, spec: IndexSpec) {
+        assert!(
+            self.store.is_empty(),
+            "create indexes before loading data (paper methodology §5.1)"
+        );
+        self.indexes.create_index(spec);
+    }
+
+    /// The index set.
+    pub fn indexes(&self) -> &IndexManager {
+        &self.indexes
+    }
+
+    /// Insert a document; all indexes must accept it (2dsphere fields
+    /// must hold valid points, like MongoDB's insert-time validation).
+    pub fn insert(&mut self, doc: &Document) -> Result<RecordId, String> {
+        for index in self.indexes.iter() {
+            if extract_key_values(index.spec(), doc).is_none() {
+                return Err(format!(
+                    "document not indexable by {}: invalid or missing geo field",
+                    index.spec()
+                ));
+            }
+        }
+        let rid = self.store.insert(doc);
+        let ok = self.indexes.insert_doc(doc, rid);
+        debug_assert!(ok, "validated above");
+        Ok(rid)
+    }
+
+    /// Remove by record id, unindexing along the way.
+    pub fn remove(&mut self, rid: RecordId) -> Option<Document> {
+        let doc = self.store.remove(rid)?;
+        self.indexes.remove_doc(&doc, rid);
+        Some(doc)
+    }
+
+    /// Fetch a document.
+    pub fn get(&self, rid: RecordId) -> Option<Document> {
+        self.store.get(rid)
+    }
+
+    /// Live document count.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Iterate all `(record id, document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, Document)> + '_ {
+        self.store.iter()
+    }
+
+    /// Storage statistics (Table 6).
+    pub fn stats(&self) -> CollectionStats {
+        self.store.stats()
+    }
+
+    /// Plan a query with the default planner.
+    pub fn plan(&self, filter: &Filter) -> QueryPlan {
+        Planner::default().choose(self, filter)
+    }
+
+    /// Plan and execute, returning matching documents and explain stats.
+    pub fn find(&self, filter: &Filter) -> (Vec<Document>, ExecutionStats) {
+        let plan = self.plan(filter);
+        execute_plan(self, filter, &plan, None, true)
+    }
+
+    /// Plan, execute and shape (sort/limit) — the shard-local half of a
+    /// distributed top-k find.
+    pub fn find_with_options(
+        &self,
+        filter: &Filter,
+        options: &crate::FindOptions,
+    ) -> (Vec<Document>, ExecutionStats) {
+        let (mut docs, stats) = self.find(filter);
+        options.shape(&mut docs);
+        (docs, stats)
+    }
+
+    /// Execute with an explicit planner configuration.
+    pub fn find_with_planner(
+        &self,
+        planner: &Planner,
+        filter: &Filter,
+    ) -> (Vec<Document>, ExecutionStats) {
+        let plan = planner.choose(self, filter);
+        execute_plan(self, filter, &plan, None, true)
+    }
+
+    /// Delete every matching document, returning the removed documents
+    /// (callers use them to maintain routing metadata).
+    pub fn delete_matching(&mut self, filter: &Filter) -> Vec<Document> {
+        let plan = self.plan(filter);
+        let (pairs, _) = crate::executor::execute_plan_with_rids(self, filter, &plan, None, true);
+        let mut removed = Vec::with_capacity(pairs.len());
+        for (rid, _) in pairs {
+            if let Some(d) = self.remove(rid) {
+                removed.push(d);
+            }
+        }
+        removed
+    }
+
+    /// Brute-force evaluation over every document — the ground truth the
+    /// tests compare indexed execution against.
+    pub fn find_collscan(&self, filter: &Filter) -> Vec<Document> {
+        self.iter()
+            .map(|(_, d)| d)
+            .filter(|d| filter.matches(d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::{doc, DateTime, Value};
+    use sts_geo::GeoRect;
+    use sts_index::IndexField;
+
+    fn geo_doc(lon: f64, lat: f64, ms: i64) -> Document {
+        let mut d = doc! {
+            "location" => doc! {
+                "type" => "Point",
+                "coordinates" => vec![Value::from(lon), Value::from(lat)],
+            },
+            "date" => DateTime::from_millis(ms),
+        };
+        d.ensure_id((ms / 1_000) as u32);
+        d
+    }
+
+    fn st_collection() -> LocalCollection {
+        let mut c = LocalCollection::new();
+        c.create_index(IndexSpec::single("_id"));
+        c.create_index(IndexSpec::new(
+            "location_1_date_1",
+            vec![IndexField::geo("location"), IndexField::asc("date")],
+        ));
+        c.create_index(IndexSpec::single("date"));
+        for i in 0..500i64 {
+            let lon = 23.0 + (i % 25) as f64 * 0.04;
+            let lat = 37.0 + (i / 25) as f64 * 0.04;
+            c.insert(&geo_doc(lon, lat, i * 60_000)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn find_matches_collscan_ground_truth() {
+        let c = st_collection();
+        let f = Filter::And(vec![
+            Filter::GeoWithin {
+                path: "location".into(),
+                rect: GeoRect::new(23.2, 37.2, 23.6, 37.6),
+            },
+            Filter::gte("date", DateTime::from_millis(0)),
+            Filter::lte("date", DateTime::from_millis(500 * 60_000)),
+        ]);
+        let (docs, stats) = c.find(&f);
+        let truth = c.find_collscan(&f);
+        assert_eq!(docs.len(), truth.len());
+        assert!(stats.n_returned as usize == truth.len());
+        assert!(!truth.is_empty(), "query should match something");
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn insert_rejects_bad_geo() {
+        let mut c = st_collection();
+        let bad = doc! {"date" => DateTime::from_millis(0), "location" => "oops"};
+        assert!(c.insert(&bad).is_err());
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut c = LocalCollection::new();
+        c.create_index(IndexSpec::single("date"));
+        let d = geo_doc(23.0, 37.0, 1_000);
+        let rid = c.insert(&d).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.remove(rid).unwrap(), d);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.indexes().get("date").unwrap().len(), 0);
+        assert!(c.remove(rid).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "before loading data")]
+    fn create_index_after_load_panics() {
+        let mut c = LocalCollection::new();
+        c.create_index(IndexSpec::single("date"));
+        c.insert(&geo_doc(23.0, 37.0, 0)).unwrap();
+        c.create_index(IndexSpec::single("x"));
+    }
+
+    #[test]
+    fn unindexable_query_falls_back_to_full_scan() {
+        let c = st_collection();
+        let f = Filter::gte("speed", 10.0); // no index on speed
+        let plan = c.plan(&f);
+        assert!(plan.is_fallback);
+        let (docs, stats) = c.find(&f);
+        assert!(docs.is_empty());
+        assert_eq!(stats.docs_examined, 500);
+    }
+}

@@ -1,0 +1,81 @@
+//! Execution statistics — the simulator's `explain("executionStats")`.
+
+use std::time::Duration;
+
+/// What one shard-local execution cost. Field names follow MongoDB's
+/// explain output, which is where the paper's metrics (§5.1) come from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionStats {
+    /// Which index served the query (Table 7).
+    pub index_used: String,
+    /// Index entries touched (`totalKeysExamined`).
+    pub keys_examined: u64,
+    /// Documents fetched from the record store (`totalDocsExamined`).
+    pub docs_examined: u64,
+    /// Documents matching the full filter (`nReturned`).
+    pub n_returned: u64,
+    /// B+tree descents performed.
+    pub seeks: u64,
+    /// Wall-clock execution time on this shard.
+    pub duration: Duration,
+    /// False when a trial budget aborted the scan early.
+    pub completed: bool,
+}
+
+impl ExecutionStats {
+    /// Work units in the MongoDB multi-planner sense: one per key
+    /// examined plus one per fetch.
+    pub fn works(&self) -> u64 {
+        self.keys_examined + self.docs_examined + self.seeks
+    }
+
+    /// Productivity score for plan ranking: results per unit of work,
+    /// with a completion bonus (MongoDB's ranker similarly rewards EOF).
+    pub fn productivity(&self) -> f64 {
+        let base = self.n_returned as f64 / (self.works() + 1) as f64;
+        if self.completed {
+            base + 1.0
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_plans_outrank_aborted_ones() {
+        let done = ExecutionStats {
+            n_returned: 1,
+            keys_examined: 100,
+            completed: true,
+            ..Default::default()
+        };
+        let partial = ExecutionStats {
+            n_returned: 50,
+            keys_examined: 100,
+            completed: false,
+            ..Default::default()
+        };
+        assert!(done.productivity() > partial.productivity());
+    }
+
+    #[test]
+    fn more_selective_completed_plan_wins() {
+        let tight = ExecutionStats {
+            n_returned: 10,
+            keys_examined: 20,
+            completed: true,
+            ..Default::default()
+        };
+        let loose = ExecutionStats {
+            n_returned: 10,
+            keys_examined: 2_000,
+            completed: true,
+            ..Default::default()
+        };
+        assert!(tight.productivity() > loose.productivity());
+    }
+}

@@ -1,0 +1,268 @@
+//! The query filter AST and document-level evaluation.
+
+use sts_document::{Document, Value};
+use sts_geo::{GeoPolygon, GeoRect};
+use sts_index::geo_point_of;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators (MongoDB query operators).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `$eq`
+    Eq,
+    /// `$gte`
+    Gte,
+    /// `$lte`
+    Lte,
+    /// `$gt`
+    Gt,
+    /// `$lt`
+    Lt,
+}
+
+/// A query predicate tree.
+#[derive(Clone, PartialEq)]
+pub enum Filter {
+    /// Conjunction (`$and`; also the implicit top-level document form).
+    And(Vec<Filter>),
+    /// Disjunction (`$or`).
+    Or(Vec<Filter>),
+    /// Field comparison.
+    Cmp {
+        /// Dotted field path.
+        path: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand value.
+        value: Value,
+    },
+    /// `$in` — membership in an explicit value set.
+    In {
+        /// Dotted field path.
+        path: String,
+        /// Candidate values.
+        values: Vec<Value>,
+    },
+    /// `$geoWithin` on a rectangle (the paper's `$box`-style constraint).
+    GeoWithin {
+        /// Dotted path of the GeoJSON point field.
+        path: String,
+        /// Query rectangle.
+        rect: GeoRect,
+    },
+    /// `$geoWithin` on a simple polygon (the paper's §6 future-work
+    /// extension; planned through the polygon's bounding box, refined
+    /// exactly at the document level).
+    GeoWithinPolygon {
+        /// Dotted path of the GeoJSON point field.
+        path: String,
+        /// Query polygon.
+        polygon: GeoPolygon,
+    },
+}
+
+impl Filter {
+    /// Convenience: `path >= value`.
+    pub fn gte(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Gte,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience: `path <= value`.
+    pub fn lte(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Lte,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience: `path == value`.
+    pub fn eq(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Cmp { path, op, value } => {
+                let Some(v) = doc.get_path(path) else {
+                    return false;
+                };
+                // MongoDB comparisons only match within the same type
+                // bracket (numbers cross-match among themselves).
+                if v.kind() != value.kind() {
+                    return false;
+                }
+                let ord = v.canonical_cmp(value);
+                match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Gte => ord != Ordering::Less,
+                    CmpOp::Lte => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Lt => ord == Ordering::Less,
+                }
+            }
+            Filter::In { path, values } => {
+                let Some(v) = doc.get_path(path) else {
+                    return false;
+                };
+                values
+                    .iter()
+                    .any(|cand| v.kind() == cand.kind() && v.canonical_cmp(cand) == Ordering::Equal)
+            }
+            Filter::GeoWithin { path, rect } => {
+                geo_point_of(doc, path).is_some_and(|p| rect.contains(p))
+            }
+            Filter::GeoWithinPolygon { path, polygon } => {
+                geo_point_of(doc, path).is_some_and(|p| polygon.contains(p))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => write!(f, "$and{fs:?}"),
+            Filter::Or(fs) => write!(f, "$or{fs:?}"),
+            Filter::Cmp { path, op, value } => write!(f, "{{{path}: {op:?} {value:?}}}"),
+            Filter::In { path, values } => write!(f, "{{{path}: $in {values:?}}}"),
+            Filter::GeoWithin { path, rect } => write!(f, "{{{path}: $geoWithin {rect:?}}}"),
+            Filter::GeoWithinPolygon { path, polygon } => {
+                write!(f, "{{{path}: $geoWithin polygon[{}]}}", polygon.vertices().len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::{doc, DateTime};
+
+    fn vehicle_doc() -> Document {
+        doc! {
+            "location" => doc! {
+                "type" => "Point",
+                "coordinates" => vec![Value::from(23.76), Value::from(37.99)],
+            },
+            "date" => DateTime::from_millis(5_000),
+            "hilbertIndex" => 42i64,
+            "speed" => 54.5,
+        }
+    }
+
+    #[test]
+    fn cmp_operators() {
+        let d = vehicle_doc();
+        assert!(Filter::gte("speed", 54.5).matches(&d));
+        assert!(Filter::lte("speed", 54.5).matches(&d));
+        assert!(!Filter::gte("speed", 55.0).matches(&d));
+        assert!(Filter::eq("hilbertIndex", 42i64).matches(&d));
+        assert!(Filter::Cmp {
+            path: "speed".into(),
+            op: CmpOp::Lt,
+            value: Value::from(60.0)
+        }
+        .matches(&d));
+        assert!(!Filter::Cmp {
+            path: "speed".into(),
+            op: CmpOp::Gt,
+            value: Value::from(54.5)
+        }
+        .matches(&d));
+    }
+
+    #[test]
+    fn missing_field_never_matches() {
+        let d = vehicle_doc();
+        assert!(!Filter::gte("absent", 1i64).matches(&d));
+        assert!(!Filter::In {
+            path: "absent".into(),
+            values: vec![Value::Null]
+        }
+        .matches(&d));
+    }
+
+    #[test]
+    fn type_bracketing() {
+        let d = vehicle_doc();
+        // A datetime is not comparable with a number under MongoDB's
+        // query semantics (though sortable in an index).
+        assert!(!Filter::gte("date", 0i64).matches(&d));
+        assert!(Filter::gte("date", DateTime::from_millis(0)).matches(&d));
+        // Int vs double cross-match numerically.
+        assert!(Filter::eq("hilbertIndex", 42.0).matches(&d));
+    }
+
+    #[test]
+    fn geo_within() {
+        let d = vehicle_doc();
+        let hit = GeoRect::new(23.7, 37.9, 23.8, 38.0);
+        let miss = GeoRect::new(24.0, 38.0, 25.0, 39.0);
+        assert!(Filter::GeoWithin {
+            path: "location".into(),
+            rect: hit
+        }
+        .matches(&d));
+        assert!(!Filter::GeoWithin {
+            path: "location".into(),
+            rect: miss
+        }
+        .matches(&d));
+    }
+
+    #[test]
+    fn paper_query_shape() {
+        // The exact query form of §4.2.2: geoWithin + date range + $or of
+        // hilbert ranges/$in.
+        let d = vehicle_doc();
+        let q = Filter::And(vec![
+            Filter::GeoWithin {
+                path: "location".into(),
+                rect: GeoRect::new(23.7, 37.9, 23.8, 38.0),
+            },
+            Filter::gte("date", DateTime::from_millis(1_000)),
+            Filter::lte("date", DateTime::from_millis(9_000)),
+            Filter::Or(vec![
+                Filter::And(vec![
+                    Filter::gte("hilbertIndex", 40i64),
+                    Filter::lte("hilbertIndex", 45i64),
+                ]),
+                Filter::In {
+                    path: "hilbertIndex".into(),
+                    values: vec![Value::Int64(99)],
+                },
+            ]),
+        ]);
+        assert!(q.matches(&d));
+    }
+
+    #[test]
+    fn in_and_or_semantics() {
+        let d = vehicle_doc();
+        assert!(Filter::In {
+            path: "hilbertIndex".into(),
+            values: vec![Value::Int64(1), Value::Int64(42)],
+        }
+        .matches(&d));
+        assert!(Filter::Or(vec![
+            Filter::eq("hilbertIndex", 0i64),
+            Filter::eq("speed", 54.5),
+        ])
+        .matches(&d));
+        assert!(!Filter::Or(vec![]).matches(&d));
+        assert!(Filter::And(vec![]).matches(&d));
+    }
+}

@@ -1,0 +1,129 @@
+//! Find options: sort and limit, with distributed top-k semantics.
+//!
+//! A sorted, limited find over a sharded collection is the classic
+//! scatter/gather top-k: every shard returns its own best `k`, the
+//! router merges and truncates. The shard-local part lives here.
+
+use sts_document::{Document, Value};
+use std::cmp::Ordering;
+
+/// Sort direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SortOrder {
+    /// Ascending (MongoDB `1`).
+    Asc,
+    /// Descending (MongoDB `-1`).
+    Desc,
+}
+
+/// Result-shaping options for a find.
+#[derive(Clone, Debug, Default)]
+pub struct FindOptions {
+    /// Sort by this dotted path (missing values sort first, like
+    /// MongoDB's null-first ascending order).
+    pub sort: Option<(String, SortOrder)>,
+    /// Keep at most this many documents (after sorting).
+    pub limit: Option<usize>,
+}
+
+impl FindOptions {
+    /// No shaping.
+    pub fn none() -> Self {
+        FindOptions::default()
+    }
+
+    /// Sort ascending by a path.
+    pub fn sort_asc(path: impl Into<String>) -> Self {
+        FindOptions {
+            sort: Some((path.into(), SortOrder::Asc)),
+            limit: None,
+        }
+    }
+
+    /// Sort descending by a path.
+    pub fn sort_desc(path: impl Into<String>) -> Self {
+        FindOptions {
+            sort: Some((path.into(), SortOrder::Desc)),
+            limit: None,
+        }
+    }
+
+    /// Add a limit.
+    pub fn with_limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Compare two documents under the sort spec.
+    pub fn cmp_docs(&self, a: &Document, b: &Document) -> Ordering {
+        let Some((path, order)) = &self.sort else {
+            return Ordering::Equal;
+        };
+        let null = Value::Null;
+        let va = a.get_path(path).unwrap_or(&null);
+        let vb = b.get_path(path).unwrap_or(&null);
+        let ord = va.canonical_cmp(vb);
+        match order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        }
+    }
+
+    /// Apply sort + limit in place (stable sort keeps scan order among
+    /// ties, matching single-node MongoDB).
+    pub fn shape(&self, docs: &mut Vec<Document>) {
+        if self.sort.is_some() {
+            docs.sort_by(|a, b| self.cmp_docs(a, b));
+        }
+        if let Some(n) = self.limit {
+            docs.truncate(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::doc;
+
+    fn docs() -> Vec<Document> {
+        vec![
+            doc! {"speed" => 30.0, "id" => 1},
+            doc! {"speed" => 10.0, "id" => 2},
+            doc! {"id" => 3}, // missing sort field
+            doc! {"speed" => 20.0, "id" => 4},
+        ]
+    }
+
+    fn ids(docs: &[Document]) -> Vec<i64> {
+        docs.iter().map(|d| d.get("id").unwrap().as_i64().unwrap()).collect()
+    }
+
+    #[test]
+    fn sort_asc_missing_first() {
+        let mut d = docs();
+        FindOptions::sort_asc("speed").shape(&mut d);
+        assert_eq!(ids(&d), vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn sort_desc_with_limit() {
+        let mut d = docs();
+        FindOptions::sort_desc("speed").with_limit(2).shape(&mut d);
+        assert_eq!(ids(&d), vec![1, 4]);
+    }
+
+    #[test]
+    fn limit_without_sort_keeps_scan_order() {
+        let mut d = docs();
+        FindOptions::none().with_limit(3).shape(&mut d);
+        assert_eq!(ids(&d), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn no_options_is_identity() {
+        let mut d = docs();
+        FindOptions::none().shape(&mut d);
+        assert_eq!(ids(&d), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Normalizing filters into planner-friendly shapes.
+
+use crate::filter::{CmpOp, Filter};
+use sts_document::Value;
+use sts_geo::GeoRect;
+use std::cmp::Ordering;
+
+/// An interval over one field's values; `None` endpoints are unbounded.
+/// Present endpoints are inclusive (strict predicates widen to inclusive
+/// index bounds and rely on residual filtering).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ValueInterval {
+    /// Inclusive lower endpoint, if bounded.
+    pub lo: Option<Value>,
+    /// Inclusive upper endpoint, if bounded.
+    pub hi: Option<Value>,
+}
+
+impl ValueInterval {
+    /// Intersect with another lower endpoint (keep the larger).
+    fn tighten_lo(&mut self, v: Value) {
+        match &self.lo {
+            Some(cur) if v.canonical_cmp(cur) != Ordering::Greater => {}
+            _ => self.lo = Some(v),
+        }
+    }
+
+    /// Intersect with another upper endpoint (keep the smaller).
+    fn tighten_hi(&mut self, v: Value) {
+        match &self.hi {
+            Some(cur) if v.canonical_cmp(cur) != Ordering::Less => {}
+            _ => self.hi = Some(v),
+        }
+    }
+
+    /// Whether any endpoint is set.
+    pub fn is_constrained(&self) -> bool {
+        self.lo.is_some() || self.hi.is_some()
+    }
+}
+
+/// The planner's view of a query: per-dimension constraints pulled out of
+/// the `$and` tree.
+///
+/// This intentionally covers the paper's query class — conjunctions of a
+/// spatial rectangle, a temporal interval and (for the Hilbert methods)
+/// an `$or` of 1D intervals on one integer field. Anything outside that
+/// class clears `fully_captured` and is handled by residual filtering on
+/// fetched documents (which always runs anyway for exactness).
+#[derive(Clone, Debug, Default)]
+pub struct QueryShape {
+    /// `$geoWithin` rectangle (path, rect).
+    pub geo: Option<(String, GeoRect)>,
+    /// Interval constraint (path, interval) from `$gte`/`$lte`/`$eq`.
+    pub range: Option<(String, ValueInterval)>,
+    /// Disjunctive integer intervals on one path (`$or` of range clauses
+    /// plus `$in` singletons — the Hilbert constraint of §4.2.2),
+    /// sorted and merged.
+    pub int_intervals: Option<(String, Vec<(i64, i64)>)>,
+    /// Whether every predicate was absorbed into the fields above.
+    pub fully_captured: bool,
+}
+
+impl QueryShape {
+    /// Analyze a filter.
+    pub fn analyze(filter: &Filter) -> QueryShape {
+        let mut shape = QueryShape {
+            fully_captured: true,
+            ..QueryShape::default()
+        };
+        shape.absorb(filter);
+        if let Some((_, ivs)) = &mut shape.int_intervals {
+            ivs.sort_unstable();
+            let mut merged: Vec<(i64, i64)> = Vec::with_capacity(ivs.len());
+            for &(lo, hi) in ivs.iter() {
+                match merged.last_mut() {
+                    Some((_, ph)) if lo <= ph.saturating_add(1) => *ph = (*ph).max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            *ivs = merged;
+        }
+        shape
+    }
+
+    /// The interval constraint for `path`, if any.
+    pub fn range_for(&self, path: &str) -> Option<&ValueInterval> {
+        match &self.range {
+            Some((p, iv)) if p == path => Some(iv),
+            _ => None,
+        }
+    }
+
+    fn absorb(&mut self, filter: &Filter) {
+        match filter {
+            Filter::And(fs) => {
+                for f in fs {
+                    self.absorb(f);
+                }
+            }
+            Filter::GeoWithin { path, rect } => {
+                if self.geo.is_none() {
+                    self.geo = Some((path.clone(), *rect));
+                } else {
+                    self.fully_captured = false;
+                }
+            }
+            Filter::GeoWithinPolygon { path, polygon } => {
+                // Plan through the bounding box; the box is a superset of
+                // the polygon, so document-level refinement must run.
+                if self.geo.is_none() {
+                    self.geo = Some((path.clone(), *polygon.bbox()));
+                }
+                self.fully_captured = false;
+            }
+            Filter::Cmp { path, op, value } => {
+                if matches!(op, CmpOp::Gt | CmpOp::Lt) {
+                    self.fully_captured = false;
+                }
+                let iv = self.interval_for(path);
+                let Some(iv) = iv else {
+                    self.fully_captured = false;
+                    return;
+                };
+                match op {
+                    CmpOp::Gte | CmpOp::Gt => iv.tighten_lo(value.clone()),
+                    CmpOp::Lte | CmpOp::Lt => iv.tighten_hi(value.clone()),
+                    CmpOp::Eq => {
+                        iv.tighten_lo(value.clone());
+                        iv.tighten_hi(value.clone());
+                    }
+                }
+            }
+            Filter::Or(branches) => {
+                if self.int_intervals.is_some() || !self.absorb_or(branches) {
+                    self.fully_captured = false;
+                }
+            }
+            Filter::In { path, values } => {
+                if !values.is_empty() && values.iter().all(|v| v.as_i64().is_some()) {
+                    let ivs = values
+                        .iter()
+                        .map(|v| {
+                            let x = v.as_i64().unwrap();
+                            (x, x)
+                        })
+                        .collect();
+                    self.push_int_intervals(path, ivs);
+                } else {
+                    self.fully_captured = false;
+                }
+            }
+        }
+    }
+
+    /// Mutable interval for `path` — only one ranged path is tracked.
+    fn interval_for(&mut self, path: &str) -> Option<&mut ValueInterval> {
+        match &mut self.range {
+            None => {
+                self.range = Some((path.to_string(), ValueInterval::default()));
+                Some(&mut self.range.as_mut().unwrap().1)
+            }
+            Some((p, _)) if p == path => Some(&mut self.range.as_mut().unwrap().1),
+            Some(_) => None,
+        }
+    }
+
+    /// Try to absorb an `$or` of interval clauses over a single integer
+    /// path. Returns `false` when the disjunction has any other form.
+    fn absorb_or(&mut self, branches: &[Filter]) -> bool {
+        let mut path: Option<String> = None;
+        let mut ivs: Vec<(i64, i64)> = Vec::new();
+        for b in branches {
+            match b {
+                Filter::And(parts) => {
+                    let (mut lo, mut hi) = (None, None);
+                    for p in parts {
+                        let Filter::Cmp {
+                            path: pp,
+                            op,
+                            value,
+                        } = p
+                        else {
+                            return false;
+                        };
+                        let Some(x) = value.as_i64() else { return false };
+                        if path.get_or_insert_with(|| pp.clone()) != pp {
+                            return false;
+                        }
+                        match op {
+                            CmpOp::Gte => lo = Some(x),
+                            CmpOp::Lte => hi = Some(x),
+                            CmpOp::Eq => {
+                                lo = Some(x);
+                                hi = Some(x);
+                            }
+                            _ => return false,
+                        }
+                    }
+                    let (Some(lo), Some(hi)) = (lo, hi) else {
+                        return false;
+                    };
+                    ivs.push((lo, hi));
+                }
+                Filter::Cmp {
+                    path: pp,
+                    op: CmpOp::Eq,
+                    value,
+                } => {
+                    let Some(x) = value.as_i64() else { return false };
+                    if path.get_or_insert_with(|| pp.clone()) != pp {
+                        return false;
+                    }
+                    ivs.push((x, x));
+                }
+                Filter::In { path: pp, values } => {
+                    if values.is_empty() || !values.iter().all(|v| v.as_i64().is_some()) {
+                        return false;
+                    }
+                    if path.get_or_insert_with(|| pp.clone()) != pp {
+                        return false;
+                    }
+                    ivs.extend(values.iter().map(|v| {
+                        let x = v.as_i64().unwrap();
+                        (x, x)
+                    }));
+                }
+                _ => return false,
+            }
+        }
+        match path {
+            Some(p) if !ivs.is_empty() => {
+                self.push_int_intervals(&p, ivs);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn push_int_intervals(&mut self, path: &str, ivs: Vec<(i64, i64)>) {
+        match &mut self.int_intervals {
+            None => self.int_intervals = Some((path.to_string(), ivs)),
+            Some((p, existing)) if p == path => existing.extend(ivs),
+            Some(_) => self.fully_captured = false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_document::DateTime;
+
+    fn dt(ms: i64) -> Value {
+        Value::DateTime(DateTime::from_millis(ms))
+    }
+
+    #[test]
+    fn paper_hilbert_query_shape() {
+        let q = Filter::And(vec![
+            Filter::GeoWithin {
+                path: "location".into(),
+                rect: GeoRect::new(23.7, 37.9, 23.8, 38.0),
+            },
+            Filter::gte("date", DateTime::from_millis(1_000)),
+            Filter::lte("date", DateTime::from_millis(9_000)),
+            Filter::Or(vec![
+                Filter::And(vec![
+                    Filter::gte("hilbertIndex", 40i64),
+                    Filter::lte("hilbertIndex", 45i64),
+                ]),
+                Filter::In {
+                    path: "hilbertIndex".into(),
+                    values: vec![Value::Int64(99), Value::Int64(47)],
+                },
+            ]),
+        ]);
+        let s = QueryShape::analyze(&q);
+        assert!(s.fully_captured);
+        assert_eq!(s.geo.as_ref().unwrap().0, "location");
+        let iv = s.range_for("date").unwrap();
+        assert_eq!(iv.lo, Some(dt(1_000)));
+        assert_eq!(iv.hi, Some(dt(9_000)));
+        assert_eq!(
+            s.int_intervals,
+            Some(("hilbertIndex".into(), vec![(40, 45), (47, 47), (99, 99)]))
+        );
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let q = Filter::Or(vec![
+            Filter::eq("h", 5i64),
+            Filter::eq("h", 6i64),
+            Filter::And(vec![Filter::gte("h", 7i64), Filter::lte("h", 9i64)]),
+        ]);
+        let s = QueryShape::analyze(&q);
+        assert_eq!(s.int_intervals, Some(("h".into(), vec![(5, 9)])));
+    }
+
+    #[test]
+    fn conflicting_bounds_intersect() {
+        let q = Filter::And(vec![
+            Filter::gte("date", DateTime::from_millis(100)),
+            Filter::gte("date", DateTime::from_millis(200)),
+            Filter::lte("date", DateTime::from_millis(900)),
+            Filter::lte("date", DateTime::from_millis(800)),
+        ]);
+        let s = QueryShape::analyze(&q);
+        let iv = s.range_for("date").unwrap();
+        assert_eq!(iv.lo, Some(dt(200)));
+        assert_eq!(iv.hi, Some(dt(800)));
+        assert!(s.fully_captured);
+    }
+
+    #[test]
+    fn half_open_interval() {
+        let q = Filter::gte("date", DateTime::from_millis(5));
+        let s = QueryShape::analyze(&q);
+        let iv = s.range_for("date").unwrap();
+        assert_eq!(iv.lo, Some(dt(5)));
+        assert_eq!(iv.hi, None);
+        assert!(iv.is_constrained());
+    }
+
+    #[test]
+    fn heterogeneous_or_is_not_captured() {
+        let q = Filter::Or(vec![
+            Filter::eq("h", 5i64),
+            Filter::eq("speed", 1i64),
+        ]);
+        let s = QueryShape::analyze(&q);
+        assert!(!s.fully_captured);
+        assert!(s.int_intervals.is_none());
+    }
+
+    #[test]
+    fn strict_ops_widen_and_flag_residual() {
+        let q = Filter::And(vec![Filter::Cmp {
+            path: "date".into(),
+            op: CmpOp::Gt,
+            value: dt(100),
+        }]);
+        let s = QueryShape::analyze(&q);
+        assert!(!s.fully_captured);
+        assert_eq!(s.range_for("date").unwrap().lo, Some(dt(100)));
+    }
+
+    #[test]
+    fn second_ranged_path_is_residual() {
+        let q = Filter::And(vec![
+            Filter::gte("date", DateTime::from_millis(1)),
+            Filter::gte("speed", 10.0),
+        ]);
+        let s = QueryShape::analyze(&q);
+        assert!(!s.fully_captured);
+        // First path keeps its constraint.
+        assert!(s.range_for("date").is_some());
+    }
+}

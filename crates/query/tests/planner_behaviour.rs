@@ -1,0 +1,178 @@
+//! Planner behaviour: candidate generation rules and multi-planner
+//! trial ranking — the machinery behind Table 7.
+
+use sts_document::{doc, DateTime, Document, Value};
+use sts_geo::GeoRect;
+use sts_index::{IndexField, IndexSpec};
+use sts_query::{Filter, IndexAccess, LocalCollection, Planner};
+
+fn point_doc(i: u32, lon: f64, lat: f64, ms: i64) -> Document {
+    let mut d = doc! {
+        "location" => doc! {
+            "type" => "Point",
+            "coordinates" => vec![Value::from(lon), Value::from(lat)],
+        },
+        "date" => DateTime::from_millis(ms),
+        "hilbertIndex" => (lon * 1000.0) as i64,
+    };
+    d.ensure_id(i);
+    d
+}
+
+/// A bslST-shaped collection: `_id`, compound (geo, date), single date.
+fn bsl_st_collection(n: u32) -> LocalCollection {
+    let mut c = LocalCollection::new();
+    c.create_index(IndexSpec::single("_id"));
+    c.create_index(IndexSpec::new(
+        "location_2dsphere_date_1",
+        vec![IndexField::geo("location"), IndexField::asc("date")],
+    ));
+    c.create_index(IndexSpec::single("date"));
+    for i in 0..n {
+        let lon = 20.0 + (i % 100) as f64 * 0.08;
+        let lat = 35.0 + ((i / 100) % 60) as f64 * 0.1;
+        c.insert(&point_doc(i, lon, lat, i64::from(i) * 10_000)).unwrap();
+    }
+    c
+}
+
+fn st_filter(rect: GeoRect, t0: i64, t1: i64) -> Filter {
+    Filter::And(vec![
+        Filter::GeoWithin {
+            path: "location".into(),
+            rect,
+        },
+        Filter::gte("date", DateTime::from_millis(t0)),
+        Filter::lte("date", DateTime::from_millis(t1)),
+    ])
+}
+
+#[test]
+fn candidates_follow_leading_field_rule() {
+    let c = bsl_st_collection(2_000);
+    let planner = Planner::default();
+    // Spatio-temporal query: compound (geo leads) + date index qualify;
+    // _id does not (§3.1: no predicate on the leading field).
+    let f = st_filter(GeoRect::new(21.0, 36.0, 23.0, 38.0), 0, 5_000_000);
+    let plans = planner.candidates(&c, &f);
+    let names: Vec<&str> = plans.iter().map(|p| p.index_name.as_str()).collect();
+    assert!(names.contains(&"location_2dsphere_date_1"), "{names:?}");
+    assert!(names.contains(&"date"), "{names:?}");
+    assert!(!names.contains(&"_id"), "{names:?}");
+
+    // Temporal-only query: the 2dsphere compound is unusable.
+    let f = Filter::And(vec![
+        Filter::gte("date", DateTime::from_millis(0)),
+        Filter::lte("date", DateTime::from_millis(1_000)),
+    ]);
+    let names: Vec<String> = planner
+        .candidates(&c, &f)
+        .into_iter()
+        .map(|p| p.index_name)
+        .collect();
+    assert_eq!(names, vec!["date"]);
+}
+
+#[test]
+fn geo_leading_plans_are_sequential_with_date_key_filter() {
+    // The 2dsphere stage must not seek on trailing date bounds (the
+    // paper's baselines pay this); date becomes an index-level filter.
+    let c = bsl_st_collection(500);
+    let f = st_filter(GeoRect::new(21.0, 36.0, 22.0, 37.0), 0, 1_000_000);
+    let plans = Planner::default().candidates(&c, &f);
+    let geo_plan = plans
+        .iter()
+        .find(|p| p.index_name == "location_2dsphere_date_1")
+        .unwrap();
+    assert!(matches!(geo_plan.access, IndexAccess::Sequential));
+    assert_eq!(geo_plan.key_filters.len(), 1, "date as index-level filter");
+    assert!(!geo_plan.ranges.is_empty());
+}
+
+#[test]
+fn hilbert_compound_gets_skip_scan() {
+    let mut c = LocalCollection::new();
+    c.create_index(IndexSpec::single("_id"));
+    c.create_index(IndexSpec::new(
+        "hilbertIndex_1_date_1",
+        vec![IndexField::asc("hilbertIndex"), IndexField::asc("date")],
+    ));
+    for i in 0..500 {
+        c.insert(&point_doc(i, 20.0 + (i % 50) as f64 * 0.1, 36.0, i64::from(i) * 1_000))
+            .unwrap();
+    }
+    let f = Filter::And(vec![
+        Filter::gte("date", DateTime::from_millis(100_000)),
+        Filter::lte("date", DateTime::from_millis(200_000)),
+        Filter::Or(vec![Filter::And(vec![
+            Filter::gte("hilbertIndex", 20_500i64),
+            Filter::lte("hilbertIndex", 21_500i64),
+        ])]),
+    ]);
+    let plans = Planner::default().candidates(&c, &f);
+    let hil = plans
+        .iter()
+        .find(|p| p.index_name == "hilbertIndex_1_date_1")
+        .unwrap();
+    assert!(
+        matches!(hil.access, IndexAccess::SkipScan { .. }),
+        "plain Asc compounds do interval intersection"
+    );
+    assert!(hil.key_filters.is_empty(), "skip-scan subsumes the filter");
+}
+
+#[test]
+fn trial_ranking_prefers_selective_plan_for_small_queries() {
+    let c = bsl_st_collection(5_000);
+    // Tiny rectangle, wide time window: the compound examines few keys;
+    // the date index would fetch everything in the window.
+    let f = st_filter(GeoRect::new(21.0, 36.0, 21.1, 36.1), 0, 50_000_000);
+    let plan = Planner::default().choose(&c, &f);
+    assert_eq!(plan.index_name, "location_2dsphere_date_1");
+}
+
+#[test]
+fn trial_ranking_can_prefer_date_index_for_big_queries() {
+    let c = bsl_st_collection(5_000);
+    // Huge rectangle (most of the space), narrow time window: scanning
+    // the date index examines far fewer keys than the coarse spatial
+    // covering — the Table 7 "○" cases.
+    let f = st_filter(GeoRect::new(19.0, 34.0, 29.0, 42.0), 0, 500_000);
+    let plan = Planner::default().choose(&c, &f);
+    assert_eq!(plan.index_name, "date");
+}
+
+#[test]
+fn unusable_everything_falls_back() {
+    let c = bsl_st_collection(100);
+    let f = Filter::gte("speedKmh", 10.0);
+    let plan = Planner::default().choose(&c, &f);
+    assert!(plan.is_fallback);
+    assert_eq!(plan.index_name, "_id");
+}
+
+#[test]
+fn geo_scan_cell_budget_controls_range_count() {
+    let c = bsl_st_collection(500);
+    let f = st_filter(GeoRect::new(19.7, 35.0, 28.0, 41.5), 0, 1_000_000);
+    let coarse = Planner {
+        geo_scan_cells: 8,
+        ..Default::default()
+    };
+    let fine = Planner {
+        geo_scan_cells: 128,
+        ..Default::default()
+    };
+    let pc = coarse
+        .candidates(&c, &f)
+        .into_iter()
+        .find(|p| p.index_name.contains("location"))
+        .unwrap();
+    let pf = fine
+        .candidates(&c, &f)
+        .into_iter()
+        .find(|p| p.index_name.contains("location"))
+        .unwrap();
+    assert!(pc.ranges.len() <= pf.ranges.len());
+    assert!(pf.ranges.len() > 4);
+}

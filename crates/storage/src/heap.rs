@@ -1,0 +1,115 @@
+//! Record heap: record-id → document bytes.
+
+/// Identifier of a stored record within one shard's heap.
+///
+/// Record ids are never reused; a migrated-away document leaves a
+/// tombstone slot behind (compaction is not modelled — the paper's
+/// experiments never shrink collections).
+pub type RecordId = u64;
+
+/// Append-mostly store of serialized documents.
+#[derive(Default)]
+pub struct RecordHeap {
+    slots: Vec<Option<Box<[u8]>>>,
+    live: usize,
+    live_bytes: u64,
+}
+
+impl RecordHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a record, returning its id.
+    pub fn insert(&mut self, bytes: Vec<u8>) -> RecordId {
+        let id = self.slots.len() as RecordId;
+        self.live += 1;
+        self.live_bytes += bytes.len() as u64;
+        self.slots.push(Some(bytes.into_boxed_slice()));
+        id
+    }
+
+    /// Fetch a record's bytes.
+    pub fn get(&self, id: RecordId) -> Option<&[u8]> {
+        self.slots.get(id as usize)?.as_deref()
+    }
+
+    /// Remove a record, returning its bytes.
+    pub fn remove(&mut self, id: RecordId) -> Option<Box<[u8]>> {
+        let slot = self.slots.get_mut(id as usize)?;
+        let bytes = slot.take()?;
+        self.live -= 1;
+        self.live_bytes -= bytes.len() as u64;
+        Some(bytes)
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live records remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total bytes of live records.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Iterate live `(id, bytes)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|b| (i as RecordId, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut h = RecordHeap::new();
+        let a = h.insert(vec![1, 2, 3]);
+        let b = h.insert(vec![4]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.live_bytes(), 4);
+        assert_eq!(h.get(a), Some(&[1u8, 2, 3][..]));
+        assert_eq!(h.remove(a).as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(h.get(a), None);
+        assert_eq!(h.remove(a), None);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.live_bytes(), 1);
+        assert_eq!(h.get(b), Some(&[4u8][..]));
+    }
+
+    #[test]
+    fn ids_are_not_reused() {
+        let mut h = RecordHeap::new();
+        let a = h.insert(vec![1]);
+        h.remove(a);
+        let b = h.insert(vec![2]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut h = RecordHeap::new();
+        let ids: Vec<_> = (0..5).map(|i| h.insert(vec![i])).collect();
+        h.remove(ids[1]);
+        h.remove(ids[3]);
+        let live: Vec<RecordId> = h.iter().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![ids[0], ids[2], ids[4]]);
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        let h = RecordHeap::new();
+        assert_eq!(h.get(99), None);
+    }
+}

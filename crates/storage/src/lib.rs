@@ -1,0 +1,19 @@
+//! Physical storage layer: record heaps, block packing, compression.
+//!
+//! MongoDB's WiredTiger engine stores collections in **snappy-compressed
+//! blocks** (§5.1 of the paper). Table 6 compares on-disk collection
+//! sizes between the baseline and Hilbert approaches, so the simulator
+//! needs a faithful size model: documents are packed into 32 KB blocks
+//! and run through [`snappy_lite`], an LZ77-style byte compressor of the
+//! same family as snappy (greedy hash-table matcher, literal/copy ops,
+//! no entropy coding).
+
+mod collection;
+mod heap;
+pub mod snappy_lite;
+
+pub use collection::{CollectionStats, CollectionStore};
+pub use heap::{RecordHeap, RecordId};
+
+/// Block size used when packing documents for compression accounting.
+pub const BLOCK_SIZE: usize = 32 * 1024;

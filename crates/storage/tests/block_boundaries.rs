@@ -1,0 +1,69 @@
+//! Storage-layer edge cases: block boundaries and compression behaviour
+//! around the 32 KB packing size.
+
+use sts_document::{doc, Document, Value};
+use sts_storage::{snappy_lite, CollectionStore, BLOCK_SIZE};
+
+fn doc_of_size(i: usize, approx_bytes: usize) -> Document {
+    let mut d = doc! {
+        "seq" => (i as i64),
+        "pad" => "x".repeat(approx_bytes.saturating_sub(40)),
+    };
+    d.ensure_id(i as u32);
+    d
+}
+
+#[test]
+fn single_document_larger_than_block() {
+    let mut c = CollectionStore::new();
+    c.insert(&doc_of_size(0, 3 * BLOCK_SIZE));
+    let s = c.stats();
+    assert_eq!(s.documents, 1);
+    assert!(s.data_bytes as usize > 2 * BLOCK_SIZE);
+    // Highly repetitive padding compresses massively.
+    assert!(s.storage_bytes < s.data_bytes / 10);
+}
+
+#[test]
+fn stats_on_exact_block_multiples() {
+    let mut c = CollectionStore::new();
+    // ~64 docs of ~1KB ≈ two blocks.
+    for i in 0..64 {
+        c.insert(&doc_of_size(i, 1024));
+    }
+    let s = c.stats();
+    assert_eq!(s.documents, 64);
+    assert!(s.storage_bytes > 0);
+    assert!(s.storage_bytes <= s.data_bytes);
+}
+
+#[test]
+fn tombstones_do_not_count() {
+    let mut c = CollectionStore::new();
+    let ids: Vec<_> = (0..10).map(|i| c.insert(&doc_of_size(i, 500))).collect();
+    for id in &ids[..5] {
+        c.remove(*id).unwrap();
+    }
+    let s = c.stats();
+    assert_eq!(s.documents, 5);
+    let full_bytes = {
+        let mut c2 = CollectionStore::new();
+        for i in 0..10 {
+            c2.insert(&doc_of_size(i, 500));
+        }
+        c2.stats().data_bytes
+    };
+    assert!(s.data_bytes < full_bytes);
+}
+
+#[test]
+fn compressor_window_spanning_matches() {
+    // A repeated motif longer than the 32 KB back-reference window: the
+    // compressor must stay correct (roundtrip) even when matches can't
+    // reach the previous occurrence.
+    let motif: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+    let mut input = motif.clone();
+    input.extend_from_slice(&motif);
+    let c = snappy_lite::compress(&input);
+    assert_eq!(snappy_lite::decompress(&c).unwrap(), input);
+}

@@ -1,0 +1,144 @@
+//! CSV import/export of record streams (§A.1's loading pipeline reads
+//! the data sets "record-by-record" from CSV files).
+//!
+//! Layout: `id,vehicle,lon,lat,date[,name=value…]` — payload columns are
+//! self-describing `name=value` pairs so the 75-column R schema and the
+//! 4-column S schema share one reader.
+
+use crate::record::Record;
+use sts_document::{DateTime, Value};
+use std::io::{self, BufRead, BufWriter, Write};
+
+/// Write records as CSV.
+pub fn write_csv<W: Write>(w: W, records: &[Record]) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for r in records {
+        write!(
+            w,
+            "{},{},{:.6},{:.6},{}",
+            r.id,
+            r.vehicle,
+            r.lon,
+            r.lat,
+            r.date.to_iso()
+        )?;
+        for (k, v) in &r.payload {
+            let cell = match v {
+                Value::String(s) => s.clone(),
+                Value::Int32(x) => x.to_string(),
+                Value::Int64(x) => x.to_string(),
+                Value::Double(x) => x.to_string(),
+                Value::Bool(b) => b.to_string(),
+                other => format!("{other:?}"),
+            };
+            write!(w, ",{k}={cell}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read records back. Numeric payload cells become doubles or integers;
+/// everything else stays a string.
+pub fn read_csv<R: io::Read>(r: R) -> io::Result<Vec<Record>> {
+    let reader = io::BufReader::new(r);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        let parse_err =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {what}", lineno + 1));
+        let id = cells
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| parse_err("bad id"))?;
+        let vehicle = cells
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| parse_err("bad vehicle"))?;
+        let lon = cells
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| parse_err("bad lon"))?;
+        let lat = cells
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| parse_err("bad lat"))?;
+        let date = cells
+            .next()
+            .and_then(|c| DateTime::parse_iso(c).ok())
+            .ok_or_else(|| parse_err("bad date"))?;
+        let mut payload = Vec::new();
+        for cell in cells {
+            let Some((k, v)) = cell.split_once('=') else {
+                return Err(parse_err("payload cell without '='"));
+            };
+            let value = if let Ok(i) = v.parse::<i64>() {
+                if v.len() <= 9 {
+                    Value::Int32(i as i32)
+                } else {
+                    Value::Int64(i)
+                }
+            } else if let Ok(f) = v.parse::<f64>() {
+                Value::Double(f)
+            } else if v == "true" || v == "false" {
+                Value::Bool(v == "true")
+            } else {
+                Value::String(v.to_string())
+            };
+            payload.push((k.to_string(), value));
+        }
+        out.push(Record {
+            id,
+            vehicle,
+            lon,
+            lat,
+            date,
+            payload,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{generate, FleetConfig};
+
+    #[test]
+    fn roundtrip_preserves_core_fields() {
+        let recs = generate(&FleetConfig {
+            records: 200,
+            vehicles: 5,
+            extra_fields: 6,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &recs).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), recs.len());
+        for (a, b) in recs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.vehicle, b.vehicle);
+            assert!((a.lon - b.lon).abs() < 1e-6);
+            assert!((a.lat - b.lat).abs() < 1e-6);
+            assert_eq!(a.date, b.date);
+            assert_eq!(a.payload.len(), b.payload.len());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_csv(&b"not,a,valid,line"[..]).is_err());
+        assert!(read_csv(&b"1,2,3.0,4.0,2018-07-01T00:00:00Z,plain"[..]).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(read_csv(&b""[..]).unwrap().is_empty());
+        assert!(read_csv(&b"\n\n"[..]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Workloads: data sets and queries from §5.1 of the paper.
+//!
+//! The paper evaluates on a **proprietary fleet-management data set (R)**
+//! — 15.2M GPS records of vehicles in Greece over five months, 75 values
+//! per record — and a **uniform synthetic set (S)** with twice the
+//! records in a small box over half the timespan. R is not publicly
+//! available, so [`fleet`] generates the closest synthetic equivalent:
+//! vehicles doing random-waypoint trips between weighted Greek urban
+//! hotspots inside the paper's exact bounding box, emitting a GPS fix
+//! every 30 s, each record padded to 75 fields (vehicle, weather, road,
+//! POI payload). The spatial skew (urban concentration), trajectory
+//! smoothness and temporal coverage are what the evaluation actually
+//! exercises, and all are preserved.
+//!
+//! [`queries`] defines the paper's 8 spatio-temporal queries (small/big
+//! rectangle × 1 hour/day/week/month, §5.1) and [`scale`] the R1–R4
+//! scale factors of §5.4. Everything is deterministic in a seed.
+
+pub mod csv;
+pub mod fleet;
+pub mod queries;
+pub mod scale;
+pub mod synth;
+pub mod trajectory;
+
+mod record;
+
+pub use record::Record;
+
+use sts_geo::GeoRect;
+
+/// The R data set's minimum bounding rectangle (§5.1).
+pub const R_MBR: GeoRect = GeoRect::new(19.632533, 34.929233, 28.245285, 41.757797);
+
+/// The S data set's minimum bounding rectangle (§5.1).
+pub const S_MBR: GeoRect = GeoRect::new(23.3, 37.6, 24.3, 38.5);
+
+/// Records in the paper's R₁ data set.
+pub const PAPER_R_RECORDS: u64 = 15_210_901;
+
+/// Default down-scale factor for laptop-scale reproduction (documented
+/// in DESIGN.md): 1/100 of the paper's volume.
+pub const DEFAULT_SCALE: f64 = 0.01;

@@ -1,0 +1,126 @@
+//! The paper's query workload (§5.1): two spatial sizes × four
+//! non-overlapping temporal spans.
+
+use sts_core::StQuery;
+use sts_document::DateTime;
+use sts_geo::GeoRect;
+
+/// Spatial size class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum QuerySize {
+    /// Qˢ — central-Athens rectangle.
+    Small,
+    /// Qᵇ — ~2,603× larger rectangle north of Athens.
+    Big,
+}
+
+impl QuerySize {
+    /// The paper's exact rectangle for this class.
+    pub fn rect(self) -> GeoRect {
+        match self {
+            QuerySize::Small => GeoRect::new(23.757495, 37.987295, 23.766958, 37.992997),
+            QuerySize::Big => GeoRect::new(23.606039, 38.023982, 24.032754, 38.353926),
+        }
+    }
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuerySize::Small => "Qs",
+            QuerySize::Big => "Qb",
+        }
+    }
+}
+
+/// Temporal spans of Q₁..Q₄ in hours: 1 hour, 1 day, 1 week, 1 month.
+pub const SPANS_HOURS: [i64; 4] = [1, 24, 7 * 24, 30 * 24];
+
+/// Build query `Qₙ` (`n` in 1..=4) of the given size class.
+///
+/// The paper's queries "do not overlap on the temporal dimension; each
+/// one pertains to a discrete time span". Windows are laid out
+/// back-to-back starting 30 days into the data set, so the full ladder
+/// (1h + 1d + 1w + 1mo ≈ 38 days) fits inside both R's 153-day and S's
+/// 76-day spans.
+pub fn paper_query(size: QuerySize, n: usize, dataset_start: DateTime) -> StQuery {
+    assert!((1..=4).contains(&n), "queries are Q1..Q4");
+    let hour = 3_600_000i64;
+    let base = dataset_start.plus_millis(30 * 24 * hour);
+    // Offsets: Q1 at +0h, Q2 at +2h, Q3 at +27h (after Q2's day),
+    // Q4 at +196h (after Q3's week) — mutually disjoint.
+    let offsets_h = [0i64, 2, 2 + 24 + 1, 2 + 24 + 1 + 7 * 24 + 1];
+    let t0 = base.plus_millis(offsets_h[n - 1] * hour);
+    let t1 = t0.plus_millis(SPANS_HOURS[n - 1] * hour);
+    StQuery {
+        rect: size.rect(),
+        t0,
+        t1,
+    }
+}
+
+/// The full 8-query workload for a data set starting at `dataset_start`.
+pub fn full_workload(dataset_start: DateTime) -> Vec<(QuerySize, usize, StQuery)> {
+    let mut out = Vec::with_capacity(8);
+    for size in [QuerySize::Small, QuerySize::Big] {
+        for n in 1..=4 {
+            out.push((size, n, paper_query(size, n, dataset_start)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> DateTime {
+        DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0)
+    }
+
+    #[test]
+    fn rect_areas_match_paper_ratio() {
+        let ratio = QuerySize::Big.rect().area_km2() / QuerySize::Small.rect().area_km2();
+        assert!((2_000.0..3_200.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn temporal_windows_are_disjoint_and_sized() {
+        for size in [QuerySize::Small, QuerySize::Big] {
+            let qs: Vec<StQuery> = (1..=4).map(|n| paper_query(size, n, start())).collect();
+            for (i, q) in qs.iter().enumerate() {
+                let span_h = (q.t1.millis() - q.t0.millis()) / 3_600_000;
+                assert_eq!(span_h, SPANS_HOURS[i]);
+            }
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    assert!(
+                        qs[i].t1 <= qs[j].t0 || qs[j].t1 <= qs[i].t0,
+                        "Q{} and Q{} overlap",
+                        i + 1,
+                        j + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_fits_inside_s_span() {
+        let last = paper_query(QuerySize::Big, 4, start());
+        let s_end = start().plus_millis(76 * 86_400_000);
+        assert!(last.t1 <= s_end, "{:?} > {s_end:?}", last.t1);
+    }
+
+    #[test]
+    fn full_workload_has_eight_queries() {
+        let w = full_workload(start());
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.iter().filter(|(s, _, _)| *s == QuerySize::Small).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q1..Q4")]
+    fn rejects_out_of_range_query_number() {
+        paper_query(QuerySize::Small, 5, start());
+    }
+}

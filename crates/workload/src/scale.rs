@@ -1,0 +1,44 @@
+//! Scale factors R₁–R₄ for the scalability study (§5.4).
+
+use crate::fleet::FleetConfig;
+
+/// Fleet configuration for scale factor `x` (R₁ = 1, …, R₄ = 4):
+/// `x` times the records via `x` times the vehicles, identical
+/// spatio-temporal bounding box — exactly how the paper scales R.
+pub fn r_config(factor: u32, base_records: u64, seed: u64) -> FleetConfig {
+    assert!((1..=8).contains(&factor), "paper uses x1..x4; allow to x8");
+    let base = FleetConfig::default();
+    FleetConfig {
+        records: base_records * u64::from(factor),
+        vehicles: base.vehicles * factor,
+        seed,
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::generate;
+    use sts_geo::GeoPoint;
+
+    #[test]
+    fn scaling_multiplies_records_not_extent() {
+        let r1 = r_config(1, 2_000, 7);
+        let r3 = r_config(3, 2_000, 7);
+        assert_eq!(r3.records, 3 * r1.records);
+        assert_eq!(r3.vehicles, 3 * r1.vehicles);
+        assert_eq!(r3.span_days, r1.span_days);
+        let recs = generate(&r3);
+        assert_eq!(recs.len(), 6_000);
+        assert!(recs
+            .iter()
+            .all(|r| crate::R_MBR.contains(GeoPoint::new(r.lon, r.lat))));
+    }
+
+    #[test]
+    #[should_panic(expected = "x1..x4")]
+    fn rejects_factor_zero() {
+        r_config(0, 100, 1);
+    }
+}

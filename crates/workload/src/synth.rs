@@ -1,0 +1,98 @@
+//! The uniform synthetic data set S (§5.1).
+
+use crate::record::Record;
+use crate::S_MBR;
+use rand::prelude::*;
+use sts_document::DateTime;
+
+/// Configuration for the S set.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Records to generate (paper: 2× the R set).
+    pub records: u64,
+    /// First timestamp (paper: same start as R).
+    pub start: DateTime,
+    /// Timespan in days (paper: half of R's, ~76).
+    pub span_days: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            records: (2.0 * crate::PAPER_R_RECORDS as f64 * crate::DEFAULT_SCALE) as u64,
+            start: DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0),
+            span_days: 76,
+            seed: 0x5137_2022,
+        }
+    }
+}
+
+/// Generate uniformly random records (4 columns: id, lon, lat, date),
+/// sorted by time.
+pub fn generate(cfg: &SynthConfig) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let span_ms = i64::from(cfg.span_days) * 86_400_000;
+    let mut records: Vec<Record> = (0..cfg.records)
+        .map(|_| Record {
+            id: 0,
+            vehicle: 0,
+            lon: rng.gen_range(S_MBR.min_lon..S_MBR.max_lon),
+            lat: rng.gen_range(S_MBR.min_lat..S_MBR.max_lat),
+            date: cfg.start.plus_millis(rng.gen_range(0..span_ms)),
+            payload: Vec::new(),
+        })
+        .collect();
+    records.sort_by_key(|r| r.date);
+    for (i, r) in records.iter_mut().enumerate() {
+        r.id = i as u64;
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_geo::GeoPoint;
+
+    #[test]
+    fn uniform_in_box_and_span() {
+        let recs = generate(&SynthConfig {
+            records: 10_000,
+            ..Default::default()
+        });
+        assert_eq!(recs.len(), 10_000);
+        assert!(recs
+            .iter()
+            .all(|r| S_MBR.contains(GeoPoint::new(r.lon, r.lat))));
+        // Roughly uniform: each lon quartile holds ~25%.
+        let q1 = recs
+            .iter()
+            .filter(|r| r.lon < S_MBR.min_lon + 0.25 * S_MBR.lon_span())
+            .count();
+        assert!((1_800..3_200).contains(&q1), "{q1}");
+        assert!(recs.windows(2).all(|w| w[0].date <= w[1].date));
+    }
+
+    #[test]
+    fn minimal_schema() {
+        let recs = generate(&SynthConfig {
+            records: 5,
+            ..Default::default()
+        });
+        // id, lon+lat (location), date, vehicleId → 4-ish columns; no payload.
+        assert!(recs.iter().all(|r| r.payload.is_empty()));
+        let d = recs[0].to_document();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SynthConfig {
+            records: 100,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+}

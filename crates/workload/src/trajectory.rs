@@ -1,0 +1,200 @@
+//! Assembling query results back into per-vehicle trajectories.
+//!
+//! The paper's fleet operators "retrieve trajectories … analyzed for
+//! fleet cost reduction … intelligent routing … movement patterns"
+//! (§1). A spatio-temporal range query returns a bag of point
+//! documents; this module stitches them into time-ordered per-vehicle
+//! tracks and computes the basic route statistics those analyses start
+//! from.
+
+use sts_document::{Document, Value};
+use sts_geo::{haversine_km, GeoPoint};
+
+/// One vehicle's time-ordered track within a query result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// Vehicle identifier (the `vehicleId` field).
+    pub vehicle: String,
+    /// `(position, time in ms)` fixes, ascending in time.
+    pub fixes: Vec<(GeoPoint, i64)>,
+}
+
+impl Trajectory {
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.fixes.len()
+    }
+
+    /// True when the track has no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.fixes.is_empty()
+    }
+
+    /// Path length in km (sum of consecutive great-circle hops).
+    pub fn length_km(&self) -> f64 {
+        self.fixes
+            .windows(2)
+            .map(|w| haversine_km(w[0].0, w[1].0))
+            .sum()
+    }
+
+    /// Wall-clock duration covered, in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        match (self.fixes.first(), self.fixes.last()) {
+            (Some((_, t0)), Some((_, t1))) => (t1 - t0) as f64 / 1_000.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Average speed over the track in km/h (0 for degenerate tracks).
+    pub fn avg_speed_kmh(&self) -> f64 {
+        let secs = self.duration_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.length_km() / (secs / 3_600.0)
+    }
+
+    /// Split the track wherever the gap between consecutive fixes
+    /// exceeds `max_gap_secs` — one segment per trip.
+    pub fn split_by_gap(&self, max_gap_secs: f64) -> Vec<Trajectory> {
+        let mut out = Vec::new();
+        let mut cur: Vec<(GeoPoint, i64)> = Vec::new();
+        for &(p, t) in &self.fixes {
+            if let Some(&(_, prev)) = cur.last() {
+                if (t - prev) as f64 / 1_000.0 > max_gap_secs {
+                    out.push(Trajectory {
+                        vehicle: self.vehicle.clone(),
+                        fixes: std::mem::take(&mut cur),
+                    });
+                }
+            }
+            cur.push((p, t));
+        }
+        if !cur.is_empty() {
+            out.push(Trajectory {
+                vehicle: self.vehicle.clone(),
+                fixes: cur,
+            });
+        }
+        out
+    }
+}
+
+/// Group a query result into per-vehicle trajectories (sorted by
+/// vehicle id; fixes time-ordered). Documents without a valid position,
+/// timestamp or `vehicleId` are skipped.
+pub fn assemble(docs: &[Document]) -> Vec<Trajectory> {
+    let mut by_vehicle: std::collections::BTreeMap<String, Vec<(GeoPoint, i64)>> =
+        std::collections::BTreeMap::new();
+    for d in docs {
+        let Some(p) = point_of(d, sts_core::LOCATION_FIELD) else {
+            continue;
+        };
+        let Some(t) = d.get("date").and_then(Value::as_datetime) else {
+            continue;
+        };
+        let Some(v) = d.get("vehicleId").and_then(Value::as_str) else {
+            continue;
+        };
+        by_vehicle
+            .entry(v.to_string())
+            .or_default()
+            .push((p, t.millis()));
+    }
+    by_vehicle
+        .into_iter()
+        .map(|(vehicle, mut fixes)| {
+            fixes.sort_by_key(|&(_, t)| t);
+            Trajectory { vehicle, fixes }
+        })
+        .collect()
+}
+
+fn point_of(d: &Document, path: &str) -> Option<GeoPoint> {
+    let v = d.get_path(path)?;
+    let coords = match v {
+        Value::Document(obj) => obj.get("coordinates")?.as_array()?,
+        Value::Array(a) => a.as_slice(),
+        _ => return None,
+    };
+    Some(GeoPoint::new(coords.first()?.as_f64()?, coords.get(1)?.as_f64()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{generate, FleetConfig};
+    use crate::Record;
+
+    #[test]
+    fn assemble_groups_and_orders() {
+        let records = generate(&FleetConfig {
+            records: 400,
+            vehicles: 4,
+            extra_fields: 2,
+            ..Default::default()
+        });
+        let docs: Vec<_> = records.iter().map(Record::to_document).collect();
+        let trajectories = assemble(&docs);
+        assert_eq!(trajectories.len(), 4);
+        let total: usize = trajectories.iter().map(Trajectory::len).sum();
+        assert_eq!(total, 400);
+        for t in &trajectories {
+            assert!(t.fixes.windows(2).all(|w| w[0].1 <= w[1].1), "time order");
+            assert!(t.length_km() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_on_a_straight_line() {
+        let t = Trajectory {
+            vehicle: "v".into(),
+            // ~1 degree of latitude ≈ 111 km in 1 hour.
+            fixes: vec![
+                (GeoPoint::new(23.0, 37.0), 0),
+                (GeoPoint::new(23.0, 38.0), 3_600_000),
+            ],
+        };
+        assert!((t.length_km() - 111.2).abs() < 1.0, "{}", t.length_km());
+        assert_eq!(t.duration_secs(), 3_600.0);
+        assert!((t.avg_speed_kmh() - 111.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn gap_splitting() {
+        let t = Trajectory {
+            vehicle: "v".into(),
+            fixes: vec![
+                (GeoPoint::new(23.0, 37.0), 0),
+                (GeoPoint::new(23.0, 37.01), 30_000),
+                (GeoPoint::new(23.5, 37.5), 10_000_000), // big gap
+                (GeoPoint::new(23.5, 37.51), 10_030_000),
+            ],
+        };
+        let trips = t.split_by_gap(600.0);
+        assert_eq!(trips.len(), 2);
+        assert_eq!(trips[0].len(), 2);
+        assert_eq!(trips[1].len(), 2);
+        // Degenerate cases.
+        assert!(Trajectory { vehicle: "x".into(), fixes: vec![] }
+            .split_by_gap(1.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn skips_malformed_documents() {
+        use sts_document::doc;
+        let docs = vec![
+            doc! {"vehicleId" => "a"}, // no location/date
+            doc! {
+                "location" => doc! {"type" => "Point", "coordinates" => vec![Value::from(23.0), Value::from(37.0)]},
+                "date" => sts_document::DateTime::from_millis(5),
+                "vehicleId" => "b",
+            },
+        ];
+        let ts = assemble(&docs);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].vehicle, "b");
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: deploy a Hilbert-sharded spatio-temporal store, load a
+//! few thousand GPS records, and run a spatio-temporal range query.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::geo::GeoRect;
+use sts::workload::fleet::{generate, FleetConfig};
+
+fn main() {
+    // 1. Deploy: 4 shards, Hilbert approach (shard key {hilbertIndex, date}).
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 4,
+        max_chunk_bytes: 256 * 1024,
+        ..Default::default()
+    });
+    println!("deployed a {}-shard '{}' store", 4, store.approach());
+
+    // 2. Load synthetic fleet trajectories (Greece, July–Nov 2018).
+    let records = generate(&FleetConfig {
+        records: 20_000,
+        vehicles: 100,
+        ..Default::default()
+    });
+    let n = store
+        .bulk_load(records.iter().map(|r| r.to_document()))
+        .expect("load");
+    println!(
+        "loaded {n} documents; {} chunks across shards {:?}",
+        store.cluster().chunk_map().len(),
+        store.cluster().docs_per_shard()
+    );
+
+    // 3. Query: central Athens, one day in October.
+    let query = StQuery {
+        rect: GeoRect::new(23.60, 37.90, 23.85, 38.10),
+        t0: DateTime::parse_iso("2018-10-01T00:00:00Z").unwrap(),
+        t1: DateTime::parse_iso("2018-10-02T00:00:00Z").unwrap(),
+    };
+    let (docs, report) = store.st_query(&query);
+    println!(
+        "query matched {} documents using {} node(s); max keys examined {}, \
+         max docs examined {}, hilbert ranges {} (decomposed in {:?})",
+        docs.len(),
+        report.cluster.nodes(),
+        report.cluster.max_keys_examined(),
+        report.cluster.max_docs_examined(),
+        report.hilbert_ranges,
+        report.hilbert_time,
+    );
+    if let Some(doc) = docs.first() {
+        println!("first match: {doc:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Zone planning: reproduce §4.2.4 interactively — show how
+//! `$bucketAuto` boundaries + one zone per shard trade per-query
+//! parallelism for spatio-temporal data locality.
+//!
+//! ```text
+//! cargo run --release --example zone_planning
+//! ```
+
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::geo::GeoRect;
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::Record;
+
+fn main() {
+    let records = generate(&FleetConfig {
+        records: 30_000,
+        vehicles: 150,
+        ..Default::default()
+    });
+
+    let probe = StQuery {
+        rect: GeoRect::new(23.6, 37.9, 23.9, 38.1), // greater Athens
+        t0: DateTime::parse_iso("2018-07-10T00:00:00Z").unwrap(),
+        t1: DateTime::parse_iso("2018-10-10T00:00:00Z").unwrap(), // 3 months
+    };
+
+    for approach in [Approach::BslST, Approach::Hil] {
+        let mut store = StStore::new(StoreConfig {
+            approach,
+            num_shards: 6,
+            max_chunk_bytes: 128 * 1024,
+            ..Default::default()
+        });
+        store
+            .bulk_load(records.iter().map(Record::to_document))
+            .expect("load");
+
+        let (docs, before) = store.st_query(&probe);
+        let spread_before = store.cluster().docs_per_shard();
+
+        store.apply_zones(); // $bucketAuto on the approach's zone field
+        let (docs_after, after) = store.st_query(&probe);
+        let spread_after = store.cluster().docs_per_shard();
+
+        assert_eq!(docs.len(), docs_after.len(), "zones must not change results");
+        println!("== approach {} (zones on `{}`) ==", approach, match approach {
+            Approach::BslST | Approach::BslTS => "date",
+            _ => "hilbertIndex",
+        });
+        println!("  docs/shard before: {spread_before:?}");
+        println!("  docs/shard after:  {spread_after:?}");
+        println!(
+            "  probe query: {} results | nodes {} -> {} | maxKeys {} -> {}",
+            docs.len(),
+            before.cluster.nodes(),
+            after.cluster.nodes(),
+            before.cluster.max_keys_examined(),
+            after.cluster.max_keys_examined(),
+        );
+        println!(
+            "  zone ranges pinned: {}\n",
+            store
+                .cluster()
+                .zones()
+                .map_or(0, <[sts::cluster::Zone]>::len)
+        );
+    }
+    println!(
+        "zones shrink the node fan-out of spatially selective queries on the \
+         Hilbert store (locality), at the price of less parallelism for the \
+         largest scans — the trade-off §5.3 of the paper measures."
+    );
+}

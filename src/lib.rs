@@ -1,0 +1,34 @@
+//! # sts — scalable spatio-temporal indexing over a document store
+//!
+//! Umbrella crate re-exporting the whole workspace: a from-scratch,
+//! MongoDB-style sharded document store plus the Hilbert-curve
+//! spatio-temporal indexing approaches of *"Scalable Spatio-temporal
+//! Indexing and Querying over a Document-oriented NoSQL Store"*
+//! (EDBT 2021).
+//!
+//! Start with [`core::StStore`] (see `examples/quickstart.rs`), or dive
+//! into the layers:
+//!
+//! * [`document`] — BSON-like data model,
+//! * [`encoding`] — memcomparable key encodings,
+//! * [`btree`] — the B+tree behind every index,
+//! * [`geo`] — GeoHash cells and rectangle covering,
+//! * [`curve`] — Hilbert/Z-order curves and range decomposition,
+//! * [`storage`] — record heaps and snappy-lite compression,
+//! * [`index`] — secondary indexes (2dsphere included),
+//! * [`query`] — filters, trial-based planner, executor,
+//! * [`cluster`] — shards, chunks, balancer, zones, mongos router,
+//! * [`core`] — the paper's four approaches behind one facade,
+//! * [`workload`] — data generators and the paper's query set.
+
+pub use sts_btree as btree;
+pub use sts_cluster as cluster;
+pub use sts_core as core;
+pub use sts_curve as curve;
+pub use sts_document as document;
+pub use sts_encoding as encoding;
+pub use sts_geo as geo;
+pub use sts_index as index;
+pub use sts_query as query;
+pub use sts_storage as storage;
+pub use sts_workload as workload;

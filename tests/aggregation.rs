@@ -1,0 +1,123 @@
+//! Distributed aggregation: scatter/gather `$group` must equal a
+//! single-node reference computation, for every approach.
+
+use std::collections::BTreeMap;
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::{DateTime, Value};
+use sts::geo::GeoRect;
+use sts::query::{Accumulator, GroupBy};
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::Record;
+
+fn records() -> Vec<Record> {
+    generate(&FleetConfig {
+        records: 9_000,
+        vehicles: 45,
+        extra_fields: 12, // includes speedKmh, heading, …, roadType
+        ..Default::default()
+    })
+}
+
+fn query() -> StQuery {
+    StQuery {
+        rect: GeoRect::new(22.5, 36.5, 24.5, 39.0),
+        t0: DateTime::from_ymd_hms(2018, 7, 15, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2018, 10, 15, 0, 0, 0),
+    }
+}
+
+/// Reference computation straight over the record stream.
+fn reference(records: &[Record], q: &StQuery) -> BTreeMap<String, (i64, f64)> {
+    let mut acc: BTreeMap<String, (i64, f64)> = BTreeMap::new();
+    for r in records {
+        if !q.matches(r.lon, r.lat, r.date) {
+            continue;
+        }
+        let road = r
+            .payload
+            .iter()
+            .find(|(k, _)| k == "roadType")
+            .and_then(|(_, v)| v.as_str())
+            .unwrap()
+            .to_string();
+        let speed = r
+            .payload
+            .iter()
+            .find(|(k, _)| k == "speedKmh")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap();
+        let e = acc.entry(road).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += speed;
+    }
+    acc
+}
+
+#[test]
+fn distributed_group_matches_reference_for_all_approaches() {
+    let records = records();
+    let q = query();
+    let want = reference(&records, &q);
+    assert!(want.len() >= 4, "need several road types: {}", want.len());
+    let spec = GroupBy::by(
+        "roadType",
+        vec![
+            ("n".into(), Accumulator::Count),
+            ("sumSpeed".into(), Accumulator::Sum("speedKmh".into())),
+            ("avgSpeed".into(), Accumulator::Avg("speedKmh".into())),
+        ],
+    );
+    for approach in Approach::EXTENDED {
+        let mut store = StStore::new(StoreConfig {
+            approach,
+            num_shards: 5,
+            max_chunk_bytes: 96 * 1024,
+            ..Default::default()
+        });
+        store
+            .bulk_load(records.iter().map(Record::to_document))
+            .unwrap();
+        let (groups, report) = store.st_aggregate(&q, &spec);
+        assert_eq!(groups.len(), want.len(), "{approach}");
+        assert!(report.cluster.nodes() >= 1);
+        for g in &groups {
+            let key = g.get("_id").unwrap().as_str().unwrap();
+            let (n, sum) = want[key];
+            assert_eq!(g.get("n").unwrap().as_i64(), Some(n), "{approach}/{key}");
+            let got_sum = g.get("sumSpeed").unwrap().as_f64().unwrap();
+            assert!((got_sum - sum).abs() < 1e-6, "{approach}/{key}");
+            let got_avg = g.get("avgSpeed").unwrap().as_f64().unwrap();
+            assert!((got_avg - sum / n as f64).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn global_group_over_zoned_store() {
+    let records = records();
+    let q = query();
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 4,
+        max_chunk_bytes: 64 * 1024,
+        ..Default::default()
+    });
+    store
+        .bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
+    let spec = GroupBy::global(vec![
+        ("n".into(), Accumulator::Count),
+        ("minSpeed".into(), Accumulator::Min("speedKmh".into())),
+        ("maxSpeed".into(), Accumulator::Max("speedKmh".into())),
+    ]);
+    let (before, _) = store.st_aggregate(&q, &spec);
+    store.apply_zones();
+    let (after, _) = store.st_aggregate(&q, &spec);
+    assert_eq!(before, after, "zoning must not change aggregates");
+    assert_eq!(before.len(), 1);
+    assert_eq!(before[0].get("_id"), Some(&Value::Null));
+    let min = before[0].get("minSpeed").unwrap().as_f64().unwrap();
+    let max = before[0].get("maxSpeed").unwrap().as_f64().unwrap();
+    assert!(min <= max);
+    assert!((0.0..=130.0).contains(&min) && (0.0..=130.0).contains(&max));
+}

@@ -1,0 +1,138 @@
+//! Chunking and balancing invariants at the store level: chunk counters,
+//! jumbo handling, and stability of results under heavy rebalancing.
+
+use sts::cluster::{Cluster, ClusterConfig, ShardKey};
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::{doc, DateTime, Document, Value};
+use sts::geo::GeoRect;
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::Record;
+
+fn point_doc(i: u32, lon: f64, lat: f64, ms: i64, h: i64) -> Document {
+    let mut d = doc! {
+        "location" => doc! {
+            "type" => "Point",
+            "coordinates" => vec![Value::from(lon), Value::from(lat)],
+        },
+        "date" => DateTime::from_millis(ms),
+        "hilbertIndex" => h,
+    };
+    d.ensure_id(i);
+    d
+}
+
+#[test]
+fn chunk_map_covers_key_space_without_gaps() {
+    let mut c = Cluster::new(
+        ClusterConfig {
+            num_shards: 5,
+            max_chunk_bytes: 8 * 1024,
+            ..Default::default()
+        },
+        ShardKey::range(&["hilbertIndex", "date"]),
+        vec![],
+    );
+    for i in 0..3_000u32 {
+        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i) * 997, i64::from(i % 97)))
+            .unwrap();
+    }
+    let chunks = c.chunk_map().chunks();
+    assert!(chunks.len() > 10);
+    // First chunk starts at -inf, last ends at +inf, and the boundaries
+    // tile exactly.
+    assert!(chunks[0].min.is_empty());
+    assert!(chunks.last().unwrap().max.is_none());
+    for w in chunks.windows(2) {
+        assert_eq!(w[0].max.as_ref(), Some(&w[1].min), "gap or overlap");
+    }
+    // Counters roughly track the data (split halving is an estimate,
+    // totals must be exact).
+    let total_docs: u64 = chunks.iter().map(|c| c.docs).sum();
+    assert_eq!(total_docs, 3_000);
+}
+
+#[test]
+fn smaller_chunks_mean_more_even_distribution() {
+    // §3.3: "the configuration of small-sized chunks leads to a more
+    // even distribution of data".
+    let records = generate(&FleetConfig {
+        records: 6_000,
+        vehicles: 30,
+        extra_fields: 4,
+        ..Default::default()
+    });
+    let spread = |max_chunk: u64| -> f64 {
+        let mut store = StStore::new(StoreConfig {
+            approach: Approach::Hil,
+            num_shards: 6,
+            max_chunk_bytes: max_chunk,
+            ..Default::default()
+        });
+        store
+            .bulk_load(records.iter().map(Record::to_document))
+            .unwrap();
+        let per = store.cluster().docs_per_shard();
+        let max = *per.iter().max().unwrap() as f64;
+        let min = *per.iter().min().unwrap() as f64;
+        max / min.max(1.0)
+    };
+    let small = spread(16 * 1024);
+    let large = spread(2 * 1024 * 1024);
+    assert!(
+        small <= large,
+        "small chunks should balance at least as evenly: {small} vs {large}"
+    );
+    assert!(small < 2.5, "small-chunk imbalance ratio: {small}");
+}
+
+#[test]
+fn query_results_stable_across_chunk_granularities() {
+    let records = generate(&FleetConfig {
+        records: 5_000,
+        vehicles: 25,
+        extra_fields: 4,
+        ..Default::default()
+    });
+    let q = StQuery {
+        rect: GeoRect::new(22.5, 37.0, 24.5, 39.0),
+        t0: DateTime::from_ymd_hms(2018, 8, 1, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2018, 10, 1, 0, 0, 0),
+    };
+    let mut counts = Vec::new();
+    for max_chunk in [8 * 1024u64, 64 * 1024, 1024 * 1024] {
+        let mut store = StStore::new(StoreConfig {
+            approach: Approach::Hil,
+            num_shards: 4,
+            max_chunk_bytes: max_chunk,
+            ..Default::default()
+        });
+        store
+            .bulk_load(records.iter().map(Record::to_document))
+            .unwrap();
+        counts.push(store.st_query(&q).0.len());
+    }
+    assert!(counts[0] > 0);
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn jumbo_chunk_keeps_accepting_writes() {
+    let mut c = Cluster::new(
+        ClusterConfig {
+            num_shards: 2,
+            max_chunk_bytes: 2 * 1024,
+            ..Default::default()
+        },
+        ShardKey::range(&["hilbertIndex"]),
+        vec![],
+    );
+    // One hot key value — the chunk goes jumbo but must keep working.
+    for i in 0..1_000u32 {
+        c.insert(&point_doc(i, 23.7, 37.9, i64::from(i), 42)).unwrap();
+    }
+    assert!(c.chunk_map().chunks().iter().any(|ch| ch.jumbo));
+    assert_eq!(c.doc_count(), 1_000);
+    let f = sts::query::Filter::eq("hilbertIndex", 42i64);
+    let (docs, _) = c.query(&f);
+    assert_eq!(docs.len(), 1_000);
+}

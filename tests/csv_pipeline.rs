@@ -1,0 +1,90 @@
+//! The §A.1 loading pipeline: CSV files → records → documents → sharded
+//! store, end to end, including document-size effects.
+
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::geo::GeoRect;
+use sts::workload::csv::{read_csv, write_csv};
+use sts::workload::fleet::{generate, FleetConfig};
+
+#[test]
+fn csv_to_store_roundtrip() {
+    let records = generate(&FleetConfig {
+        records: 2_000,
+        vehicles: 10,
+        extra_fields: 10,
+        ..Default::default()
+    });
+    // Write to an in-memory "file" and read it back, like the paper's
+    // query routers reading CSVs from disk.
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &records).unwrap();
+    let loaded = read_csv(&buf[..]).unwrap();
+    assert_eq!(loaded.len(), records.len());
+
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 3,
+        max_chunk_bytes: 64 * 1024,
+        ..Default::default()
+    });
+    let n = store
+        .bulk_load(loaded.iter().map(|r| r.to_document()))
+        .unwrap();
+    assert_eq!(n, 2_000);
+
+    // A query over everything returns everything.
+    let q = StQuery {
+        rect: sts::workload::R_MBR,
+        t0: DateTime::from_ymd_hms(2018, 1, 1, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2019, 1, 1, 0, 0, 0),
+    };
+    let (docs, report) = store.st_query(&q);
+    assert_eq!(docs.len(), 2_000);
+    assert!(report.cluster.nodes() >= 1);
+}
+
+#[test]
+fn hilbert_field_grows_documents_table6_effect() {
+    let records = generate(&FleetConfig {
+        records: 1_000,
+        vehicles: 5,
+        extra_fields: 10,
+        ..Default::default()
+    });
+    let build = |approach| {
+        let mut s = StStore::new(StoreConfig {
+            approach,
+            num_shards: 2,
+            max_chunk_bytes: 256 * 1024,
+            ..Default::default()
+        });
+        s.bulk_load(records.iter().map(|r| r.to_document())).unwrap();
+        s
+    };
+    let bsl = build(Approach::BslST);
+    let hil = build(Approach::Hil);
+    let (b, h) = (bsl.collection_stats(), hil.collection_stats());
+    assert_eq!(b.documents, h.documents);
+    // §A.1/Table 6: hil documents integrate the extra hilbertIndex field.
+    assert!(h.data_bytes > b.data_bytes);
+    let per_doc = (h.data_bytes - b.data_bytes) as f64 / h.documents as f64;
+    assert!((20.0..25.0).contains(&per_doc), "≈22 bytes/doc, got {per_doc}");
+}
+
+#[test]
+fn query_on_empty_store_is_empty() {
+    let store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 2,
+        ..Default::default()
+    });
+    let q = StQuery {
+        rect: GeoRect::new(0.0, 0.0, 1.0, 1.0),
+        t0: DateTime::from_millis(0),
+        t1: DateTime::from_millis(1),
+    };
+    let (docs, report) = store.st_query(&q);
+    assert!(docs.is_empty());
+    assert_eq!(report.cluster.n_returned(), 0);
+}

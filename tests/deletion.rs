@@ -1,0 +1,97 @@
+//! Spatio-temporal deletion through the router: index consistency,
+//! chunk-counter maintenance, and query correctness afterwards.
+
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::geo::GeoRect;
+use sts::workload::synth::{generate, SynthConfig};
+use sts::workload::{Record, S_MBR};
+
+fn store(approach: Approach) -> (StStore, Vec<Record>) {
+    let records = generate(&SynthConfig {
+        records: 6_000,
+        ..Default::default()
+    });
+    let mut s = StStore::new(StoreConfig {
+        approach,
+        num_shards: 4,
+        max_chunk_bytes: 48 * 1024,
+        data_mbr: S_MBR,
+        ..Default::default()
+    });
+    s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+    (s, records)
+}
+
+fn wipe_region() -> StQuery {
+    StQuery {
+        rect: GeoRect::new(23.4, 37.7, 23.9, 38.2),
+        t0: DateTime::from_ymd_hms(2018, 7, 10, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2018, 8, 10, 0, 0, 0),
+    }
+}
+
+#[test]
+fn delete_removes_exactly_the_matching_region() {
+    for approach in [Approach::BslST, Approach::Hil, Approach::StHash] {
+        let (mut s, records) = store(approach);
+        let q = wipe_region();
+        let expected: u64 = records
+            .iter()
+            .filter(|r| q.matches(r.lon, r.lat, r.date))
+            .count() as u64;
+        assert!(expected > 100, "{approach}: region must be populated");
+
+        let removed = s.st_delete(&q);
+        assert_eq!(removed, expected, "{approach}");
+        assert_eq!(s.doc_count(), 6_000 - expected, "{approach}");
+
+        // The region is now empty; everything else is intact.
+        let (after, _) = s.st_query(&q);
+        assert!(after.is_empty(), "{approach}");
+        let whole = StQuery {
+            rect: S_MBR,
+            t0: DateTime::from_ymd_hms(2018, 1, 1, 0, 0, 0),
+            t1: DateTime::from_ymd_hms(2019, 1, 1, 0, 0, 0),
+        };
+        let (rest, _) = s.st_query(&whole);
+        assert_eq!(rest.len() as u64, 6_000 - expected, "{approach}");
+
+        // Indexes stay consistent with the heaps on every shard.
+        for shard in s.cluster().shards() {
+            let n = shard.len();
+            for idx in shard.collection().indexes().iter() {
+                assert_eq!(idx.len(), n, "{approach}: index {} diverged", idx.spec());
+            }
+        }
+        // Chunk counters track the deletion.
+        let counted: u64 = s
+            .cluster()
+            .chunk_map()
+            .chunks()
+            .iter()
+            .map(|c| c.docs)
+            .sum();
+        assert_eq!(counted, 6_000 - expected, "{approach}");
+    }
+}
+
+#[test]
+fn delete_is_idempotent_and_safe_on_empty() {
+    let (mut s, _) = store(Approach::Hil);
+    let q = wipe_region();
+    let first = s.st_delete(&q);
+    assert!(first > 0);
+    assert_eq!(s.st_delete(&q), 0, "second pass removes nothing");
+    // A disjoint region is untouched.
+    let far = StQuery {
+        rect: GeoRect::new(24.0, 38.3, 24.3, 38.5),
+        t0: q.t0,
+        t1: q.t1,
+    };
+    let (docs, _) = s.st_query(&far);
+    let before = docs.len();
+    s.st_delete(&q);
+    let (docs, _) = s.st_query(&far);
+    assert_eq!(docs.len(), before);
+}

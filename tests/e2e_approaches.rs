@@ -1,0 +1,88 @@
+//! End-to-end equivalence: every approach answers the paper's workload
+//! identically, matching brute-force ground truth, on both data sets.
+
+use sts::core::{Approach, StStore, StoreConfig};
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::queries::{full_workload, QuerySize};
+use sts::workload::synth::{self, SynthConfig};
+use sts::workload::{Record, R_MBR, S_MBR};
+
+fn store_for(approach: Approach, records: &[Record], mbr: sts::geo::GeoRect) -> StStore {
+    let mut store = StStore::new(StoreConfig {
+        approach,
+        num_shards: 6,
+        max_chunk_bytes: 96 * 1024,
+        data_mbr: mbr,
+        ..Default::default()
+    });
+    store
+        .bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
+    store
+}
+
+fn start() -> sts::document::DateTime {
+    sts::document::DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0)
+}
+
+fn check_workload(records: &[Record], mbr: sts::geo::GeoRect) {
+    let truth: Vec<u64> = full_workload(start())
+        .iter()
+        .map(|(_, _, q)| {
+            records
+                .iter()
+                .filter(|r| q.matches(r.lon, r.lat, r.date))
+                .count() as u64
+        })
+        .collect();
+    for approach in Approach::ALL {
+        let store = store_for(approach, records, mbr);
+        for ((size, n, q), expected) in full_workload(start()).iter().zip(&truth) {
+            let (docs, report) = store.st_query(q);
+            assert_eq!(
+                docs.len() as u64,
+                *expected,
+                "{approach} {}{n}",
+                size.label()
+            );
+            assert_eq!(report.cluster.n_returned(), *expected);
+            // Every returned doc truly matches.
+            for d in &docs {
+                let p = sts::index::geo_point_of(d, "location").unwrap();
+                let t = d.get("date").unwrap().as_datetime().unwrap();
+                assert!(q.matches(p.lon, p.lat, t));
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_dataset_all_approaches_agree() {
+    let records = generate(&FleetConfig {
+        records: 8_000,
+        vehicles: 40,
+        extra_fields: 8,
+        ..Default::default()
+    });
+    // The paper's small query targets central Athens; the generator's
+    // Athens hotspot must make at least the big queries productive.
+    let big_q4 = full_workload(start())
+        .into_iter()
+        .find(|(s, n, _)| *s == QuerySize::Big && *n == 4)
+        .unwrap()
+        .2;
+    assert!(
+        records.iter().any(|r| big_q4.matches(r.lon, r.lat, r.date)),
+        "workload must be productive on fleet data"
+    );
+    check_workload(&records, R_MBR);
+}
+
+#[test]
+fn synthetic_dataset_all_approaches_agree() {
+    let records = synth::generate(&SynthConfig {
+        records: 12_000,
+        ..Default::default()
+    });
+    check_workload(&records, S_MBR);
+}

@@ -1,0 +1,83 @@
+//! Property tests across the whole stack: for random query rectangles
+//! and time windows, routed + indexed execution equals brute force, on
+//! every approach.
+
+use proptest::prelude::*;
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::geo::GeoRect;
+use sts::workload::synth::{generate, SynthConfig};
+use sts::workload::{Record, S_MBR};
+use std::sync::OnceLock;
+
+/// One shared store per approach (building stores is the expensive part;
+/// the properties vary the queries).
+fn stores() -> &'static Vec<(Approach, StStore, Vec<Record>)> {
+    static STORES: OnceLock<Vec<(Approach, StStore, Vec<Record>)>> = OnceLock::new();
+    STORES.get_or_init(|| {
+        let records = generate(&SynthConfig {
+            records: 6_000,
+            ..Default::default()
+        });
+        Approach::ALL
+            .into_iter()
+            .map(|a| {
+                let mut s = StStore::new(StoreConfig {
+                    approach: a,
+                    num_shards: 5,
+                    max_chunk_bytes: 48 * 1024,
+                    data_mbr: S_MBR,
+                    ..Default::default()
+                });
+                s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+                (a, s, records.clone())
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn indexed_execution_equals_brute_force(
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0,
+        w in 0.0f64..0.6, h in 0.0f64..0.6,
+        t_off_h in 0i64..(70 * 24), span_h in 1i64..(20 * 24),
+    ) {
+        let rect = GeoRect::new(
+            S_MBR.min_lon + fx * S_MBR.lon_span() * (1.0 - w),
+            S_MBR.min_lat + fy * S_MBR.lat_span() * (1.0 - h),
+            S_MBR.min_lon + fx * S_MBR.lon_span() * (1.0 - w) + w * S_MBR.lon_span(),
+            S_MBR.min_lat + fy * S_MBR.lat_span() * (1.0 - h) + h * S_MBR.lat_span(),
+        );
+        let t0 = DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0).plus_millis(t_off_h * 3_600_000);
+        let q = StQuery { rect, t0, t1: t0.plus_millis(span_h * 3_600_000) };
+        let mut counts = Vec::new();
+        for (approach, store, records) in stores() {
+            let truth = records.iter().filter(|r| q.matches(r.lon, r.lat, r.date)).count();
+            let (docs, report) = store.st_query(&q);
+            prop_assert_eq!(docs.len(), truth, "approach {}", approach);
+            prop_assert_eq!(report.cluster.n_returned() as usize, truth);
+            counts.push(truth);
+        }
+        // All approaches agreed (implied, but assert the invariant).
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn degenerate_windows_are_safe(
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0,
+    ) {
+        // Zero-area rectangle and zero-length time window.
+        let lon = S_MBR.min_lon + fx * S_MBR.lon_span();
+        let lat = S_MBR.min_lat + fy * S_MBR.lat_span();
+        let t0 = DateTime::from_ymd_hms(2018, 8, 1, 0, 0, 0);
+        let q = StQuery { rect: GeoRect::new(lon, lat, lon, lat), t0, t1: t0 };
+        for (approach, store, records) in stores() {
+            let truth = records.iter().filter(|r| q.matches(r.lon, r.lat, r.date)).count();
+            let (docs, _) = store.st_query(&q);
+            prop_assert_eq!(docs.len(), truth, "approach {}", approach);
+        }
+    }
+}

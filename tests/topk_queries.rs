@@ -1,0 +1,98 @@
+//! Distributed top-k (sort + limit) across the sharded store.
+
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::{DateTime, Value};
+use sts::geo::GeoRect;
+use sts::query::FindOptions;
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::Record;
+
+fn store() -> (StStore, Vec<Record>) {
+    let records = generate(&FleetConfig {
+        records: 8_000,
+        vehicles: 40,
+        extra_fields: 8,
+        ..Default::default()
+    });
+    let mut s = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 5,
+        max_chunk_bytes: 64 * 1024,
+        ..Default::default()
+    });
+    s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+    (s, records)
+}
+
+fn probe() -> StQuery {
+    StQuery {
+        rect: GeoRect::new(22.0, 36.0, 25.0, 39.5),
+        t0: DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2018, 12, 1, 0, 0, 0),
+    }
+}
+
+#[test]
+fn top_k_fastest_traces() {
+    let (s, records) = store();
+    let q = probe();
+    let k = 25;
+    let (docs, _) = s.st_query_with_options(&q, &FindOptions::sort_desc("speedKmh").with_limit(k));
+    assert_eq!(docs.len(), k);
+    // Sorted descending.
+    let speeds: Vec<f64> = docs
+        .iter()
+        .map(|d| d.get("speedKmh").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(speeds.windows(2).all(|w| w[0] >= w[1]), "{speeds:?}");
+    // The k-th best equals the brute-force k-th best.
+    let mut all: Vec<f64> = records
+        .iter()
+        .filter(|r| q.matches(r.lon, r.lat, r.date))
+        .map(|r| {
+            r.payload
+                .iter()
+                .find(|(n, _)| n == "speedKmh")
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap()
+        })
+        .collect();
+    all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert!(all.len() > k);
+    assert_eq!(speeds, all[..k], "global top-k must match brute force");
+}
+
+#[test]
+fn sort_by_date_ascending_whole_result() {
+    let (s, _) = store();
+    let q = probe();
+    let (sorted, _) = s.st_query_with_options(&q, &FindOptions::sort_asc("date"));
+    let (unsorted, _) = s.st_query(&q);
+    assert_eq!(sorted.len(), unsorted.len());
+    assert!(sorted.windows(2).all(|w| {
+        w[0].get("date").unwrap().as_datetime() <= w[1].get("date").unwrap().as_datetime()
+    }));
+}
+
+#[test]
+fn limit_zero_and_oversized() {
+    let (s, _) = store();
+    let q = probe();
+    let (none, _) = s.st_query_with_options(&q, &FindOptions::none().with_limit(0));
+    assert!(none.is_empty());
+    let (all, _) = s.st_query(&q);
+    let (capped, _) =
+        s.st_query_with_options(&q, &FindOptions::none().with_limit(10_000_000));
+    assert_eq!(all.len(), capped.len());
+}
+
+#[test]
+fn missing_sort_field_sorts_first() {
+    // S-style records carry no speed field; sort by it anyway.
+    let (s, _) = store();
+    let q = probe();
+    let (docs, _) = s.st_query_with_options(&q, &FindOptions::sort_asc("noSuchField").with_limit(5));
+    assert_eq!(docs.len(), 5);
+    assert!(docs.iter().all(|d| d.get("noSuchField").is_none()
+        || d.get("noSuchField") == Some(&Value::Null)));
+}

@@ -1,0 +1,151 @@
+//! Routing and zone semantics across the full stack.
+
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::geo::GeoRect;
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::Record;
+
+fn records() -> Vec<Record> {
+    generate(&FleetConfig {
+        records: 10_000,
+        vehicles: 50,
+        extra_fields: 4,
+        ..Default::default()
+    })
+}
+
+fn store(approach: Approach, recs: &[Record], zones: bool) -> StStore {
+    let mut s = StStore::new(StoreConfig {
+        approach,
+        num_shards: 6,
+        max_chunk_bytes: 64 * 1024,
+        ..Default::default()
+    });
+    s.bulk_load(recs.iter().map(Record::to_document)).unwrap();
+    if zones {
+        s.apply_zones();
+    }
+    s
+}
+
+fn athens_quarter() -> StQuery {
+    StQuery {
+        rect: GeoRect::new(23.6, 37.85, 23.95, 38.15),
+        t0: DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2018, 12, 1, 0, 0, 0), // whole span
+    }
+}
+
+#[test]
+fn hilbert_routing_targets_fewer_nodes_for_spatial_queries() {
+    let recs = records();
+    let hil = store(Approach::Hil, &recs, false);
+    let bsl = store(Approach::BslST, &recs, false);
+    let q = athens_quarter();
+    let (hil_docs, hil_report) = hil.st_query(&q);
+    let (bsl_docs, bsl_report) = bsl.st_query(&q);
+    assert_eq!(hil_docs.len(), bsl_docs.len());
+    assert!(!hil_docs.is_empty());
+    // Whole-timespan query: bsl must touch every time-shard; hil routes
+    // by the spatial constraint (§4.1.3's drawback (ii) vs §4.2.3).
+    assert_eq!(bsl_report.cluster.nodes(), 6);
+    assert!(
+        hil_report.cluster.nodes() <= bsl_report.cluster.nodes(),
+        "hil {} vs bsl {}",
+        hil_report.cluster.nodes(),
+        bsl_report.cluster.nodes()
+    );
+}
+
+#[test]
+fn zones_never_change_results_and_keep_balance_docs() {
+    let recs = records();
+    for approach in [Approach::BslST, Approach::BslTS, Approach::Hil] {
+        let plain = store(approach, &recs, false);
+        let zoned = store(approach, &recs, true);
+        assert_eq!(plain.doc_count(), zoned.doc_count(), "{approach}");
+        let q = athens_quarter();
+        let (a, _) = plain.st_query(&q);
+        let (b, rep) = zoned.st_query(&q);
+        assert_eq!(a.len(), b.len(), "{approach}");
+        assert!(rep.cluster.nodes() >= 1);
+        // No shard may end up empty after zone migration (bucketAuto
+        // equalizes document counts).
+        assert!(
+            zoned.cluster().docs_per_shard().iter().all(|&n| n > 0),
+            "{approach}: {:?}",
+            zoned.cluster().docs_per_shard()
+        );
+    }
+}
+
+#[test]
+fn hilbert_zones_reduce_nodes_on_average() {
+    // Any single probe can get unlucky (a $bucketAuto boundary may cut
+    // straight through a dense region), but across many small spatial
+    // probes the zone layout must touch no more nodes than the default
+    // round-robin chunk placement — that is §4.2.3's locality claim.
+    let recs = records();
+    let plain = store(Approach::Hil, &recs, false);
+    let zoned = store(Approach::Hil, &recs, true);
+    let (mut before_total, mut after_total) = (0usize, 0usize);
+    for i in 0..8 {
+        let lon = 20.5 + f64::from(i) * 0.9;
+        for j in 0..4 {
+            let lat = 35.2 + f64::from(j) * 1.5;
+            let q = StQuery {
+                rect: GeoRect::new(lon, lat, lon + 0.8, lat + 1.2),
+                t0: DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0),
+                t1: DateTime::from_ymd_hms(2018, 12, 1, 0, 0, 0),
+            };
+            let (a, rb) = plain.st_query(&q);
+            let (b, ra) = zoned.st_query(&q);
+            assert_eq!(a.len(), b.len());
+            before_total += rb.cluster.nodes();
+            after_total += ra.cluster.nodes();
+        }
+    }
+    assert!(
+        after_total <= before_total,
+        "zones should not scatter work: {before_total} -> {after_total}"
+    );
+}
+
+#[test]
+fn broadcast_happens_without_shard_key_constraint() {
+    let recs = records();
+    let hil = store(Approach::Hil, &recs, false);
+    // Temporal-only query: no hilbertIndex constraint → broadcast on a
+    // {hilbertIndex, date} shard key (footnote 2 of the paper).
+    let f = sts::query::Filter::And(vec![
+        sts::query::Filter::gte("date", DateTime::from_ymd_hms(2018, 8, 1, 0, 0, 0)),
+        sts::query::Filter::lte("date", DateTime::from_ymd_hms(2018, 8, 2, 0, 0, 0)),
+    ]);
+    let (_, report) = hil.find(&f);
+    assert!(report.broadcast);
+    assert_eq!(report.nodes(), 6);
+}
+
+#[test]
+fn per_shard_planner_can_disagree_across_nodes() {
+    // Table 7's "mixed usage": each shard plans independently, so the
+    // simulator must at least *allow* different indexes per node.
+    let recs = records();
+    let bsl = store(Approach::BslST, &recs, false);
+    let q = athens_quarter();
+    let (_, report) = bsl.st_query(&q);
+    let used: std::collections::HashSet<String> = report
+        .cluster
+        .indexes_used()
+        .into_iter()
+        .map(|(_, i)| i)
+        .collect();
+    assert!(!used.is_empty());
+    for idx in &used {
+        assert!(
+            idx.contains("location") || idx.contains("date"),
+            "unexpected index {idx}"
+        );
+    }
+}
