@@ -41,7 +41,9 @@ fn bench_range_budget(c: &mut Criterion) {
     let grid = CurveGrid::new(R_MBR, PAPER_CURVE_ORDER, CurveKind::Hilbert);
     let rect = QuerySize::Big.rect();
     for budget in [4usize, 16, 64, 256, usize::MAX] {
-        let n = grid.decompose_rect(&rect, RangeBudget::new(budget.min(1 << 20))).len();
+        let n = grid
+            .decompose_rect(&rect, RangeBudget::new(budget.min(1 << 20)))
+            .len();
         let span: u64 = grid
             .decompose_rect(&rect, RangeBudget::new(budget.min(1 << 20)))
             .iter()

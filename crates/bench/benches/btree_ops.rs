@@ -23,21 +23,29 @@ fn bench_insert(c: &mut Criterion) {
     let mut g = c.benchmark_group("btree_insert");
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("random_100k", |b| {
-        b.iter_batched(BTree::new, |mut t| {
-            for i in 0..100_000u64 {
-                let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                t.insert(&key(k), i);
-            }
-            t
-        }, BatchSize::LargeInput)
+        b.iter_batched(
+            BTree::new,
+            |mut t| {
+                for i in 0..100_000u64 {
+                    let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    t.insert(&key(k), i);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
     });
     g.bench_function("ascending_100k", |b| {
-        b.iter_batched(BTree::new, |mut t| {
-            for i in 0..100_000u64 {
-                t.insert(&key(i), i);
-            }
-            t
-        }, BatchSize::LargeInput)
+        b.iter_batched(
+            BTree::new,
+            |mut t| {
+                for i in 0..100_000u64 {
+                    t.insert(&key(i), i);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
     });
     g.finish();
 }

@@ -43,7 +43,11 @@ fn bench_decompose(c: &mut Criterion) {
     let world = CurveGrid::world(PAPER_CURVE_ORDER);
     let fitted_r = CurveGrid::fitted(sts_workload::R_MBR, PAPER_CURVE_ORDER);
     let fitted_s = CurveGrid::fitted(sts_workload::S_MBR, PAPER_CURVE_ORDER);
-    for (name, grid) in [("hil", &world), ("hil*_R", &fitted_r), ("hil*_S", &fitted_s)] {
+    for (name, grid) in [
+        ("hil", &world),
+        ("hil*_R", &fitted_r),
+        ("hil*_S", &fitted_s),
+    ] {
         for size in [QuerySize::Small, QuerySize::Big] {
             let rect = size.rect();
             g.bench_function(format!("{name}/{}", size.label()), |b| {

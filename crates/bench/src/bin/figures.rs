@@ -111,11 +111,19 @@ fn run_config(
         }
     }
     if print_figs {
-        let mode = if zones { "zone ranges" } else { "default sharding" };
-        let small_title =
-            format!("Figure {small_fig}: {mode}, small queries, {} data", dataset.label());
-        let big_title =
-            format!("Figure {big_fig}: {mode}, big queries, {} data", dataset.label());
+        let mode = if zones {
+            "zone ranges"
+        } else {
+            "default sharding"
+        };
+        let small_title = format!(
+            "Figure {small_fig}: {mode}, small queries, {} data",
+            dataset.label()
+        );
+        let big_title = format!(
+            "Figure {big_fig}: {mode}, big queries, {} data",
+            dataset.label()
+        );
         print!("{}", render_table(&small_title, &small_rows));
         print!("{}", render_table(&big_title, &big_rows));
         save_json(&format!("fig{small_fig}"), &small_rows);
@@ -139,7 +147,10 @@ fn fig13_scalability(cfg: &HarnessConfig) {
     }
     print!(
         "{}",
-        render_table("Figure 13: scalability, Qb2 on R1–R4 (default sharding)", &rows)
+        render_table(
+            "Figure 13: scalability, Qb2 on R1–R4 (default sharding)",
+            &rows
+        )
     );
     save_json("fig13", &rows);
 }
@@ -169,7 +180,10 @@ fn fig14_index_sizes(rows: &[IndexSizeRow]) {
             "approach", "index", "bytes", "entries"
         );
         let mut totals: Vec<(String, u64)> = Vec::new();
-        for r in rows.iter().filter(|r| r.dataset == dataset && r.zones == zones) {
+        for r in rows
+            .iter()
+            .filter(|r| r.dataset == dataset && r.zones == zones)
+        {
             println!(
                 "{:<8} {:<28} {:>14} {:>12}",
                 r.approach, r.index, r.bytes, r.entries

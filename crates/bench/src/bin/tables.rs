@@ -6,6 +6,7 @@
 //! ```
 
 use serde::Serialize;
+use std::time::Instant;
 use sts_bench::{
     build_store, dataset_mbr, dataset_records, dataset_start, save_json, Dataset, HarnessConfig,
 };
@@ -14,7 +15,6 @@ use sts_curve::{CurveGrid, RangeBudget, PAPER_CURVE_ORDER};
 use sts_document::encoded_size;
 use sts_workload::queries::{paper_query, QuerySize};
 use sts_workload::Record;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,8 +68,14 @@ struct CountRow {
 fn tables_2_3(r: &[Record], s: &[Record]) {
     let mut rows = Vec::new();
     for (t, size) in [(2u32, QuerySize::Small), (3, QuerySize::Big)] {
-        println!("\n== Table {t}: retrieved documents, {} queries ==", size.label());
-        println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "dataset", "Q1", "Q2", "Q3", "Q4");
+        println!(
+            "\n== Table {t}: retrieved documents, {} queries ==",
+            size.label()
+        );
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10}",
+            "dataset", "Q1", "Q2", "Q3", "Q4"
+        );
         for (label, records) in [("R", r), ("S", s)] {
             let counts: Vec<u64> = (1..=4)
                 .map(|n| count(records, &paper_query(size, n, dataset_start())))
@@ -248,7 +254,10 @@ struct HilbertTimeRow {
 /// Table 8: average time of the Hilbert range-identification algorithm.
 fn table_8() {
     println!("\n== Table 8: Hilbert range decomposition time (µs; paper reports ms at full precision) ==");
-    println!("{:<8} {:<6} {:>10} {:>10}", "dataset", "method", "Qs(µs)", "Qb(µs)");
+    println!(
+        "{:<8} {:<6} {:>10} {:>10}",
+        "dataset", "method", "Qs(µs)", "Qb(µs)"
+    );
     let reps = 200u32;
     let mut rows = Vec::new();
     for (label, dataset) in [("R", Dataset::R), ("S", Dataset::S)] {

@@ -80,7 +80,11 @@ fn main() {
             };
             println!(
                 "{:<8} {:<7} {:>11.2} {:>12} {:>14} {:>9.2}x",
-                row.approach, row.zones, row.mean_nodes, row.total_work, row.max_shard_work,
+                row.approach,
+                row.zones,
+                row.mean_nodes,
+                row.total_work,
+                row.max_shard_work,
                 row.parallel_headroom
             );
             rows.push(row);

@@ -10,13 +10,13 @@
 //! aligned text and are archived as JSON under `results/`.
 
 use serde::Serialize;
+use std::time::Duration;
 use sts_core::{Approach, StQuery, StStore, StoreConfig};
 use sts_document::DateTime;
 use sts_workload::fleet::{self, FleetConfig};
 use sts_workload::queries::{paper_query, QuerySize};
 use sts_workload::synth::{self, SynthConfig};
 use sts_workload::Record;
-use std::time::Duration;
 
 /// Which data set an experiment runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -232,11 +232,7 @@ pub fn measure(store: &StStore, label: &str, query: &StQuery, cfg: &HarnessConfi
 }
 
 /// Run the four Q₁..Q₄ queries of one size class.
-pub fn run_query_ladder(
-    store: &StStore,
-    size: QuerySize,
-    cfg: &HarnessConfig,
-) -> Vec<Measurement> {
+pub fn run_query_ladder(store: &StStore, size: QuerySize, cfg: &HarnessConfig) -> Vec<Measurement> {
     (1..=4)
         .map(|n| {
             let q = paper_query(size, n, dataset_start());

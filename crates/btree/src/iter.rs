@@ -48,7 +48,9 @@ impl<'a> RangeIter<'a> {
                 Node::Leaf(l) => {
                     let idx = match lower {
                         Bound::Unbounded => 0,
-                        Bound::Included(k) => l.entries.partition_point(|(e, _)| e.as_ref() < &k[..]),
+                        Bound::Included(k) => {
+                            l.entries.partition_point(|(e, _)| e.as_ref() < &k[..])
+                        }
                         Bound::Excluded(k) => {
                             l.entries.partition_point(|(e, _)| e.as_ref() <= &k[..])
                         }

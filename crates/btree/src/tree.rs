@@ -229,27 +229,25 @@ type InsertOutcome = (Option<u64>, Option<(Box<[u8]>, Node)>);
 
 fn insert_rec(node: &mut Node, key: &[u8], value: u64) -> InsertOutcome {
     match node {
-        Node::Leaf(leaf) => {
-            match leaf.entries.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
-                Ok(idx) => {
-                    let old = std::mem::replace(&mut leaf.entries[idx].1, value);
-                    (Some(old), None)
-                }
-                Err(idx) => {
-                    leaf.entries.insert(idx, (key.into(), value));
-                    if leaf.entries.len() > LEAF_CAPACITY {
-                        let right_entries = leaf.entries.split_off(leaf.entries.len() / 2);
-                        let sep = right_entries[0].0.clone();
-                        let right = Node::Leaf(Leaf {
-                            entries: right_entries,
-                        });
-                        (None, Some((sep, right)))
-                    } else {
-                        (None, None)
-                    }
+        Node::Leaf(leaf) => match leaf.entries.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+            Ok(idx) => {
+                let old = std::mem::replace(&mut leaf.entries[idx].1, value);
+                (Some(old), None)
+            }
+            Err(idx) => {
+                leaf.entries.insert(idx, (key.into(), value));
+                if leaf.entries.len() > LEAF_CAPACITY {
+                    let right_entries = leaf.entries.split_off(leaf.entries.len() / 2);
+                    let sep = right_entries[0].0.clone();
+                    let right = Node::Leaf(Leaf {
+                        entries: right_entries,
+                    });
+                    (None, Some((sep, right)))
+                } else {
+                    (None, None)
                 }
             }
-        }
+        },
         Node::Internal(internal) => {
             let idx = internal.child_for(key);
             let (old, split) = insert_rec(&mut internal.children[idx], key, value);
@@ -448,10 +446,7 @@ mod tests {
         let lo = key(100);
         let hi = key(1_000);
         let got: Vec<u64> = t
-            .range(
-                Bound::Included(lo.clone()),
-                Bound::Excluded(hi.clone()),
-            )
+            .range(Bound::Included(lo.clone()), Bound::Excluded(hi.clone()))
             .map(|(_, v)| v)
             .collect();
         let want: Vec<u64> = model
@@ -467,10 +462,7 @@ mod tests {
         for i in 0..50_000u64 {
             t.insert(&key(i), i);
         }
-        let est = t.estimate_range(
-            &Bound::Included(key(10_000)),
-            &Bound::Excluded(key(20_000)),
-        );
+        let est = t.estimate_range(&Bound::Included(key(10_000)), &Bound::Excluded(key(20_000)));
         let exact = 10_000f64;
         assert!(
             (est as f64) > exact * 0.5 && (est as f64) < exact * 2.0,

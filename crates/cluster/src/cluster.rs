@@ -1,18 +1,20 @@
 //! The cluster: shards + routing table + balancer + mongos front-end.
 
 use crate::chunk::ChunkMap;
+use crate::faults::{FailPoint, FaultInjector};
 use crate::report::{ClusterQueryReport, ShardExecution};
+use crate::retry::{run_with_recovery, RecoveryPolicy, ShardRecovery};
 use crate::shard::Shard;
 use crate::shardkey::{ShardKey, ShardStrategy};
 use crate::zones::{zones_from_boundaries, Zone};
 use rayon::prelude::*;
+use std::collections::BTreeSet;
+use std::time::Instant;
 use sts_btree::SizeReport;
 use sts_document::{encoded_size, Document, Value};
 use sts_index::{IndexField, IndexSpec};
-use sts_query::{Filter, Planner, QueryShape};
+use sts_query::{ExecutionStats, Filter, Planner, QueryError, QueryShape};
 use sts_storage::CollectionStats;
-use std::collections::BTreeSet;
-use std::time::Instant;
 
 /// Cluster-wide configuration.
 #[derive(Clone, Debug)]
@@ -25,6 +27,10 @@ pub struct ClusterConfig {
     pub max_chunk_bytes: u64,
     /// Planner used by every shard (per-shard planning, like MongoDB).
     pub planner: Planner,
+    /// Router fault tolerance: timeouts, retries, hedged reads.
+    pub recovery: RecoveryPolicy,
+    /// Seed for the failpoint registry's deterministic draws.
+    pub fault_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -33,6 +39,8 @@ impl Default for ClusterConfig {
             num_shards: 12,
             max_chunk_bytes: 640 * 1024,
             planner: Planner::default(),
+            recovery: RecoveryPolicy::default(),
+            fault_seed: 0x5EED_FA17,
         }
     }
 }
@@ -46,6 +54,7 @@ pub struct Cluster {
     chunks: ChunkMap,
     zones: Option<Vec<Zone>>,
     migrations: MigrationStats,
+    faults: FaultInjector,
 }
 
 /// Balancer bookkeeping: how much data the cluster has shuffled.
@@ -65,7 +74,11 @@ impl Cluster {
     /// index has the shard-key fields as an ascending prefix, one is
     /// auto-created — exactly MongoDB's behaviour, and the reason the
     /// baseline methods carry an extra `date` index (§4.1.2).
-    pub fn new(config: ClusterConfig, shard_key: ShardKey, mut index_specs: Vec<IndexSpec>) -> Self {
+    pub fn new(
+        config: ClusterConfig,
+        shard_key: ShardKey,
+        mut index_specs: Vec<IndexSpec>,
+    ) -> Self {
         assert!(config.num_shards >= 1, "need at least one shard");
         if !index_specs.iter().any(|s| s.name == "_id") {
             index_specs.insert(0, IndexSpec::single("_id"));
@@ -84,7 +97,11 @@ impl Cluster {
                             .map(|f| format!("{f}_1"))
                             .collect::<Vec<_>>()
                             .join("_"),
-                        shard_key.fields.iter().map(IndexField::asc).collect::<Vec<_>>(),
+                        shard_key
+                            .fields
+                            .iter()
+                            .map(IndexField::asc)
+                            .collect::<Vec<_>>(),
                     ),
                     ShardStrategy::Hashed => (
                         format!("{}_hashed", shard_key.fields[0]),
@@ -98,6 +115,7 @@ impl Cluster {
         let shards = (0..config.num_shards)
             .map(|id| Shard::new(id, &index_specs))
             .collect();
+        let faults = FaultInjector::new(config.fault_seed);
         Cluster {
             config,
             shard_key,
@@ -106,7 +124,39 @@ impl Cluster {
             chunks: ChunkMap::new_single(0),
             zones: None,
             migrations: MigrationStats::default(),
+            faults,
         }
+    }
+
+    /// The failpoint registry. Arming takes `&self` (interior
+    /// mutability), like `configureFailPoint` against a live server.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Arm (or re-arm) a named failpoint.
+    pub fn arm_failpoint(&self, name: impl Into<String>, point: FailPoint) {
+        self.faults.arm(name, point);
+    }
+
+    /// Disarm one failpoint; `true` if it was armed.
+    pub fn disarm_failpoint(&self, name: &str) -> bool {
+        self.faults.disarm(name)
+    }
+
+    /// Disarm every failpoint.
+    pub fn disarm_all_failpoints(&self) {
+        self.faults.disarm_all();
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> &RecoveryPolicy {
+        &self.config.recovery
+    }
+
+    /// Replace the recovery policy.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.config.recovery = policy;
     }
 
     /// The shard key.
@@ -161,7 +211,10 @@ impl Cluster {
 
     /// Bulk insertion in batches (the paper loads with 15k-document
     /// batches, §A.1 — batching here just amortizes the balancer checks).
-    pub fn bulk_insert<I: IntoIterator<Item = Document>>(&mut self, docs: I) -> Result<u64, String> {
+    pub fn bulk_insert<I: IntoIterator<Item = Document>>(
+        &mut self,
+        docs: I,
+    ) -> Result<u64, String> {
         let mut n = 0u64;
         for doc in docs {
             self.insert(&doc)?;
@@ -211,16 +264,12 @@ impl Cluster {
         // Zone enforcement first: every chunk must live on its zone's shard.
         if let Some(zones) = self.zones.clone() {
             loop {
-                let misplaced = self
-                    .chunks
-                    .chunks()
-                    .iter()
-                    .position(|c| {
-                        zones
-                            .iter()
-                            .find(|z| z.contains(&c.min))
-                            .is_some_and(|z| z.shard != c.shard)
-                    });
+                let misplaced = self.chunks.chunks().iter().position(|c| {
+                    zones
+                        .iter()
+                        .find(|z| z.contains(&c.min))
+                        .is_some_and(|z| z.shard != c.shard)
+                });
                 match misplaced {
                     Some(idx) => {
                         let dst = zones
@@ -268,8 +317,7 @@ impl Cluster {
         if src == dst {
             return;
         }
-        let docs =
-            self.shards[src].extract_range(&self.shard_key_index, &min, max.as_deref());
+        let docs = self.shards[src].extract_range(&self.shard_key_index, &min, max.as_deref());
         self.migrations.chunks_moved += 1;
         self.migrations.docs_moved += docs.len() as u64;
         for d in &docs {
@@ -375,32 +423,83 @@ impl Cluster {
         }
     }
 
-    /// Route, scatter, execute in parallel, gather.
-    pub fn query(&self, filter: &Filter) -> (Vec<Document>, ClusterQueryReport) {
+    /// The unified scatter/gather: route, fan out under the recovery
+    /// policy (failpoint draws, timeouts, backoff retries, hedged
+    /// reads), gather in shard order. Abandoned shards contribute an
+    /// incomplete [`ShardExecution`] and flip the report's `partial`
+    /// flag instead of losing the whole query.
+    fn scatter_gather<R: Send>(
+        &self,
+        filter: &Filter,
+        run: impl Fn(usize) -> (R, ExecutionStats) + Sync,
+    ) -> (Vec<R>, ClusterQueryReport) {
+        /// One gathered row: shard id, its answer (`None` once the
+        /// recovery policy gave the shard up), and the recovery record.
+        type GatherRow<R> = (usize, Option<(R, ExecutionStats)>, ShardRecovery);
         let (targets, broadcast) = self.target_shards(filter);
         let start = Instant::now();
-        let planner = self.config.planner;
-        let mut results: Vec<(usize, Vec<Document>, sts_query::ExecutionStats)> = targets
+        let query_id = self.faults.begin_query();
+        let policy = self.config.recovery;
+        let mut results: Vec<GatherRow<R>> = targets
             .par_iter()
             .map(|&sid| {
-                let (docs, stats) =
-                    self.shards[sid].collection().find_with_planner(&planner, filter);
-                (sid, docs, stats)
+                let (out, recovery) =
+                    run_with_recovery(&policy, &self.faults, query_id, sid, || run(sid));
+                (sid, out, recovery)
             })
             .collect();
         results.sort_by_key(|(sid, _, _)| *sid);
-        let mut docs = Vec::new();
+        let mut payloads = Vec::with_capacity(results.len());
         let mut per_shard = Vec::with_capacity(results.len());
-        for (sid, mut d, stats) in results {
-            docs.append(&mut d);
-            per_shard.push(ShardExecution { shard: sid, stats });
+        let mut partial = false;
+        for (sid, out, recovery) in results {
+            let stats = match out {
+                Some((payload, stats)) => {
+                    payloads.push(payload);
+                    stats
+                }
+                None => {
+                    partial = true;
+                    ExecutionStats {
+                        completed: false,
+                        ..ExecutionStats::default()
+                    }
+                }
+            };
+            per_shard.push(ShardExecution {
+                shard: sid,
+                stats,
+                recovery,
+            });
         }
         let report = ClusterQueryReport {
             per_shard,
             broadcast,
+            partial,
             wall: start.elapsed(),
         };
-        (docs, report)
+        (payloads, report)
+    }
+
+    /// Route, scatter, execute in parallel, gather.
+    pub fn query(&self, filter: &Filter) -> (Vec<Document>, ClusterQueryReport) {
+        let planner = self.config.planner;
+        let (chunks, report) = self.scatter_gather(filter, |sid| {
+            self.shards[sid]
+                .collection()
+                .find_with_planner(&planner, filter)
+        });
+        (chunks.into_iter().flatten().collect(), report)
+    }
+
+    /// Like [`Cluster::query`], but an abandoned shard is an error
+    /// instead of a silently partial result set.
+    pub fn try_query(
+        &self,
+        filter: &Filter,
+    ) -> Result<(Vec<Document>, ClusterQueryReport), QueryError> {
+        let (docs, report) = self.query(filter);
+        check_complete(report).map(|report| (docs, report))
     }
 
     /// Route, scatter, execute, shape: every shard returns its own
@@ -411,37 +510,27 @@ impl Cluster {
         filter: &Filter,
         options: &sts_query::FindOptions,
     ) -> (Vec<Document>, ClusterQueryReport) {
-        let (targets, broadcast) = self.target_shards(filter);
-        let start = Instant::now();
         let planner = self.config.planner;
-        let mut results: Vec<(usize, Vec<Document>, sts_query::ExecutionStats)> = targets
-            .par_iter()
-            .map(|&sid| {
-                let (docs, stats) = {
-                    let coll = self.shards[sid].collection();
-                    let plan = planner.choose(coll, filter);
-                    let (mut docs, stats) =
-                        sts_query::execute_plan(coll, filter, &plan, None, true);
-                    options.shape(&mut docs);
-                    (docs, stats)
-                };
-                (sid, docs, stats)
-            })
-            .collect();
-        results.sort_by_key(|(sid, _, _)| *sid);
-        let mut docs = Vec::new();
-        let mut per_shard = Vec::with_capacity(results.len());
-        for (sid, mut d, stats) in results {
-            docs.append(&mut d);
-            per_shard.push(ShardExecution { shard: sid, stats });
-        }
+        let (chunks, report) = self.scatter_gather(filter, |sid| {
+            let coll = self.shards[sid].collection();
+            let plan = planner.choose(coll, filter);
+            let (mut docs, stats) = sts_query::execute_plan(coll, filter, &plan, None, true);
+            options.shape(&mut docs);
+            (docs, stats)
+        });
+        let mut docs: Vec<Document> = chunks.into_iter().flatten().collect();
         options.shape(&mut docs);
-        let report = ClusterQueryReport {
-            per_shard,
-            broadcast,
-            wall: start.elapsed(),
-        };
         (docs, report)
+    }
+
+    /// Like [`Cluster::query_with_options`], erroring on partial results.
+    pub fn try_query_with_options(
+        &self,
+        filter: &Filter,
+        options: &sts_query::FindOptions,
+    ) -> Result<(Vec<Document>, ClusterQueryReport), QueryError> {
+        let (docs, report) = self.query_with_options(filter, options);
+        check_complete(report).map(|report| (docs, report))
     }
 
     /// Delete every document matching `filter` across the targeted
@@ -473,30 +562,24 @@ impl Cluster {
         filter: &Filter,
         spec: &sts_query::GroupBy,
     ) -> (Vec<Document>, ClusterQueryReport) {
-        let (targets, broadcast) = self.target_shards(filter);
-        let start = Instant::now();
-        let mut results: Vec<(usize, sts_query::PartialAggregation, sts_query::ExecutionStats)> =
-            targets
-                .par_iter()
-                .map(|&sid| {
-                    let (partial, stats) =
-                        sts_query::aggregate_local(self.shards[sid].collection(), filter, spec);
-                    (sid, partial, stats)
-                })
-                .collect();
-        results.sort_by_key(|(sid, _, _)| *sid);
+        let (partials, report) = self.scatter_gather(filter, |sid| {
+            sts_query::aggregate_local(self.shards[sid].collection(), filter, spec)
+        });
         let mut merged = sts_query::PartialAggregation::default();
-        let mut per_shard = Vec::with_capacity(results.len());
-        for (sid, partial, stats) in results {
+        for partial in partials {
             merged.merge(partial);
-            per_shard.push(ShardExecution { shard: sid, stats });
         }
-        let report = ClusterQueryReport {
-            per_shard,
-            broadcast,
-            wall: start.elapsed(),
-        };
         (merged.finalize(spec), report)
+    }
+
+    /// Like [`Cluster::aggregate`], erroring on partial results.
+    pub fn try_aggregate(
+        &self,
+        filter: &Filter,
+        spec: &sts_query::GroupBy,
+    ) -> Result<(Vec<Document>, ClusterQueryReport), QueryError> {
+        let (docs, report) = self.aggregate(filter, spec);
+        check_complete(report).map(|report| (docs, report))
     }
 
     /// Aggregated collection statistics (Table 6).
@@ -532,6 +615,17 @@ impl Cluster {
 /// A `[lo, hi)` interval in shard-key byte space (`None` = +∞).
 type KeyInterval = (Vec<u8>, Option<Vec<u8>>);
 
+/// Turn a partial gather into `QueryError::ShardsUnavailable`.
+fn check_complete(report: ClusterQueryReport) -> Result<ClusterQueryReport, QueryError> {
+    if report.partial {
+        Err(QueryError::ShardsUnavailable {
+            shards: report.failed_shards(),
+        })
+    } else {
+        Ok(report)
+    }
+}
+
 /// Bytes sorting strictly after every key whose leading value is `v`.
 fn upper_bytes(v: &Value) -> Vec<u8> {
     let mut b = sts_encoding::encode_value(v);
@@ -545,7 +639,8 @@ fn covers_shard_key(spec: &IndexSpec, key: &ShardKey) -> bool {
     if key.strategy != ShardStrategy::Range || spec.fields.len() < key.fields.len() {
         return false;
     }
-    key.fields.iter().zip(&spec.fields).all(|(path, field)| {
-        field.path == *path && matches!(field.kind, sts_index::FieldKind::Asc)
-    })
+    key.fields
+        .iter()
+        .zip(&spec.fields)
+        .all(|(path, field)| field.path == *path && matches!(field.kind, sts_index::FieldKind::Asc))
 }

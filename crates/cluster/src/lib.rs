@@ -13,7 +13,12 @@
 //! * the **mongos router**: inserts route by shard key; queries target
 //!   only the shards whose chunks intersect the filter's shard-key
 //!   constraints (else broadcast), execute in parallel, and merge
-//!   results with per-shard explain statistics.
+//!   results with per-shard explain statistics,
+//! * **fault tolerance** — a deterministic failpoint registry
+//!   ([`faults`]) injects per-shard latency, transient errors and hard
+//!   failures; the router recovers via per-shard timeouts, bounded
+//!   backoff retries and hedged reads to a replica ([`retry`]), and the
+//!   query report records every retry, hedge and timeout.
 
 //! # Example
 //!
@@ -44,14 +49,18 @@
 
 mod chunk;
 mod cluster;
+pub mod faults;
 mod report;
+pub mod retry;
 mod shard;
 mod shardkey;
 mod zones;
 
 pub use chunk::{Chunk, ChunkMap};
 pub use cluster::{Cluster, ClusterConfig, MigrationStats};
+pub use faults::{AttemptCtx, FailPoint, FailPointMode, FaultInjector, FaultKind};
 pub use report::{ClusterQueryReport, ShardExecution};
+pub use retry::{run_with_recovery, RecoveryPolicy, ShardRecovery};
 pub use shard::Shard;
 pub use shardkey::{ShardKey, ShardStrategy};
 pub use zones::{bucket_boundaries, weighted_bucket_boundaries, Zone};

@@ -1,5 +1,7 @@
-//! Cluster-level query reports: the paper's four metrics in one place.
+//! Cluster-level query reports: the paper's four metrics in one place,
+//! plus the fault-tolerance observables (retries, hedges, timeouts).
 
+use crate::retry::ShardRecovery;
 use std::time::Duration;
 use sts_query::ExecutionStats;
 
@@ -8,17 +10,38 @@ use sts_query::ExecutionStats;
 pub struct ShardExecution {
     /// Shard id.
     pub shard: usize,
-    /// That shard's explain statistics.
+    /// That shard's explain statistics. Defaulted (with
+    /// `completed: false`) when the shard was abandoned.
     pub stats: ExecutionStats,
+    /// What it took to get (or fail to get) this shard's answer.
+    pub recovery: ShardRecovery,
+}
+
+impl ShardExecution {
+    /// A fault-free execution record.
+    pub fn clean(shard: usize, stats: ExecutionStats) -> Self {
+        ShardExecution {
+            shard,
+            stats,
+            recovery: ShardRecovery {
+                attempts: 1,
+                ..ShardRecovery::default()
+            },
+        }
+    }
 }
 
 /// The merged result of routing one query through `mongos`.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterQueryReport {
-    /// Per-shard executions, one entry per *targeted* shard.
+    /// Per-shard executions, one entry per *targeted* shard — including
+    /// shards that were abandoned after recovery ran out.
     pub per_shard: Vec<ShardExecution>,
     /// Whether the router had to broadcast (no shard-key constraint).
     pub broadcast: bool,
+    /// True when at least one targeted shard never answered, so the
+    /// gathered result set may be incomplete.
+    pub partial: bool,
     /// End-to-end wall time of the scatter/gather, including the merge.
     pub wall: Duration,
 }
@@ -74,6 +97,65 @@ impl ClusterQueryReport {
             .max()
             .unwrap_or_default()
     }
+
+    /// Backoff retries issued across all shards.
+    pub fn total_retries(&self) -> u32 {
+        self.per_shard.iter().map(|s| s.recovery.retries).sum()
+    }
+
+    /// Hedged reads issued across all shards.
+    pub fn total_hedges(&self) -> u32 {
+        self.per_shard.iter().map(|s| s.recovery.hedges).sum()
+    }
+
+    /// Attempts that hit the per-shard timeout, across all shards.
+    pub fn total_timeouts(&self) -> u32 {
+        self.per_shard.iter().map(|s| s.recovery.timeouts).sum()
+    }
+
+    /// Shards that timed out at least once (they may still have
+    /// answered after a hedge or retry).
+    pub fn timed_out_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .filter(|s| s.recovery.timeouts > 0)
+            .map(|s| s.shard)
+            .collect()
+    }
+
+    /// Shards whose answers came from the replica.
+    pub fn hedge_served_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .filter(|s| s.recovery.served_by_replica)
+            .map(|s| s.shard)
+            .collect()
+    }
+
+    /// Shards the router abandoned (empty unless `partial`).
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .filter(|s| s.recovery.gave_up)
+            .map(|s| s.shard)
+            .collect()
+    }
+
+    /// True when no recovery machinery engaged anywhere: every shard
+    /// answered on its first attempt with no faults.
+    pub fn fault_free(&self) -> bool {
+        !self.partial && self.per_shard.iter().all(|s| s.recovery.clean())
+    }
+
+    /// The slowest shard's *virtual* delay (injected latency plus
+    /// backoff) — what fault injection added to the critical path.
+    pub fn max_virtual_delay(&self) -> Duration {
+        self.per_shard
+            .iter()
+            .map(|s| s.recovery.virtual_delay())
+            .max()
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -81,16 +163,16 @@ mod tests {
     use super::*;
 
     fn exec(shard: usize, keys: u64, docs: u64, ret: u64) -> ShardExecution {
-        ShardExecution {
+        ShardExecution::clean(
             shard,
-            stats: ExecutionStats {
+            ExecutionStats {
                 keys_examined: keys,
                 docs_examined: docs,
                 n_returned: ret,
                 completed: true,
                 ..Default::default()
             },
-        }
+        )
     }
 
     #[test]
@@ -98,6 +180,7 @@ mod tests {
         let r = ClusterQueryReport {
             per_shard: vec![exec(0, 100, 50, 10), exec(3, 500, 20, 5)],
             broadcast: false,
+            partial: false,
             wall: Duration::from_millis(4),
         };
         assert_eq!(r.nodes(), 2);
@@ -106,6 +189,12 @@ mod tests {
         assert_eq!(r.n_returned(), 15);
         assert_eq!(r.total_keys_examined(), 600);
         assert_eq!(r.indexes_used().len(), 2);
+        assert!(r.fault_free());
+        assert_eq!(r.total_retries(), 0);
+        assert_eq!(r.total_hedges(), 0);
+        assert_eq!(r.total_timeouts(), 0);
+        assert!(r.failed_shards().is_empty());
+        assert_eq!(r.max_virtual_delay(), Duration::ZERO);
     }
 
     #[test]
@@ -114,5 +203,40 @@ mod tests {
         assert_eq!(r.nodes(), 0);
         assert_eq!(r.max_keys_examined(), 0);
         assert_eq!(r.n_returned(), 0);
+        assert!(r.fault_free());
+    }
+
+    #[test]
+    fn recovery_rollups() {
+        let mut slow = exec(1, 10, 10, 2);
+        slow.recovery = ShardRecovery {
+            attempts: 3,
+            retries: 1,
+            hedges: 1,
+            timeouts: 1,
+            injected_latency: Duration::from_millis(250),
+            backoff_wait: Duration::from_millis(10),
+            served_by_replica: true,
+            ..ShardRecovery::default()
+        };
+        let mut dead = ShardExecution::clean(2, ExecutionStats::default());
+        dead.stats.completed = false;
+        dead.recovery.attempts = 2;
+        dead.recovery.hedges = 1;
+        dead.recovery.gave_up = true;
+        let r = ClusterQueryReport {
+            per_shard: vec![exec(0, 5, 5, 5), slow, dead],
+            broadcast: true,
+            partial: true,
+            wall: Duration::from_millis(1),
+        };
+        assert!(!r.fault_free());
+        assert_eq!(r.total_retries(), 1);
+        assert_eq!(r.total_hedges(), 2);
+        assert_eq!(r.total_timeouts(), 1);
+        assert_eq!(r.timed_out_shards(), vec![1]);
+        assert_eq!(r.hedge_served_shards(), vec![1]);
+        assert_eq!(r.failed_shards(), vec![2]);
+        assert_eq!(r.max_virtual_delay(), Duration::from_millis(260));
     }
 }

@@ -1,0 +1,357 @@
+//! Router-side fault tolerance: per-shard timeouts, bounded retries
+//! with exponential backoff, and hedged reads to a replica.
+//!
+//! The recovery loop reacts to faults drawn from the
+//! [`FaultInjector`](crate::faults::FaultInjector):
+//!
+//! * **no fault** — the attempt answers; done.
+//! * **latency ≤ timeout** — slow but answered; the delay is recorded
+//!   as virtual latency.
+//! * **latency > timeout** — the attempt *times out*. A timed-out
+//!   primary is hedged to the replica when hedging is on (waiting
+//!   longer on a known-slow node is the worst move); otherwise the
+//!   node is retried after backoff.
+//! * **transient error** — retried on the same node after exponential
+//!   backoff, up to `max_retries` extra attempts per node.
+//! * **hard failure** — the node is down; no retry against it can
+//!   help. The primary is hedged to the replica when hedging is on,
+//!   else the shard is abandoned.
+//!
+//! Each node (primary, and replica if hedged) gets an attempt budget
+//! of `1 + max_retries`. When the primary's budget is exhausted the
+//! router hedges once (if enabled and not already done); when the
+//! replica's is too, the shard is marked `gave_up` and the query
+//! report turns `partial`.
+//!
+//! All waiting is **virtual**: injected latency and backoff are summed
+//! into [`ShardRecovery`] instead of sleeping, so tests assert on
+//! deterministic numbers and never on the wall clock.
+
+use crate::faults::{AttemptCtx, FaultInjector, FaultKind};
+use std::time::Duration;
+
+/// The router's per-shard recovery policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Virtual per-attempt timeout: an attempt whose injected latency
+    /// exceeds this is a timeout.
+    pub shard_timeout: Duration,
+    /// Extra attempts allowed per node beyond the first.
+    pub max_retries: u32,
+    /// First backoff pause; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Hedge reads to the shard's replica when the primary times out,
+    /// is down, or exhausts its retry budget.
+    pub hedge_reads: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            shard_timeout: Duration::from_millis(250),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            hedge_reads: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries nor hedges: first fault loses the
+    /// shard. Useful as a chaos-test control group.
+    pub fn fail_fast() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            hedge_reads: false,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// The exponential pause before retry number `retry` (0-based):
+    /// `backoff_base * 2^retry`, capped at `backoff_cap`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        self.backoff_base
+            .saturating_mul(1u32.checked_shl(retry.min(20)).unwrap_or(u32::MAX))
+            .min(self.backoff_cap)
+    }
+}
+
+/// What recovering one shard's answer cost. All durations are virtual
+/// (injected), never wall-clock measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// Attempts issued in total, across primary and replica.
+    pub attempts: u32,
+    /// Re-attempts against a node already tried (backoff retries).
+    pub retries: u32,
+    /// Hedged reads issued to the replica (0 or 1).
+    pub hedges: u32,
+    /// Attempts that exceeded the per-shard timeout.
+    pub timeouts: u32,
+    /// Attempts that failed with a retryable error.
+    pub transient_errors: u32,
+    /// Virtual time spent waiting on injected latency (timed-out
+    /// attempts contribute the timeout, answered ones their delay).
+    pub injected_latency: Duration,
+    /// Virtual time spent in backoff pauses.
+    pub backoff_wait: Duration,
+    /// Whether the answer finally came from the replica.
+    pub served_by_replica: bool,
+    /// Whether the router abandoned the shard (the report is partial).
+    pub gave_up: bool,
+}
+
+impl ShardRecovery {
+    /// True when nothing noteworthy happened: one attempt, no faults.
+    pub fn clean(&self) -> bool {
+        self == &ShardRecovery {
+            attempts: self.attempts.min(1),
+            ..ShardRecovery::default()
+        }
+    }
+
+    /// Total virtual delay this shard added (latency + backoff).
+    pub fn virtual_delay(&self) -> Duration {
+        self.injected_latency + self.backoff_wait
+    }
+}
+
+/// Run `work` for one shard under the recovery policy, drawing faults
+/// from `faults`. Returns the work's output (or `None` if the shard
+/// was abandoned) plus the recovery record.
+pub fn run_with_recovery<R>(
+    policy: &RecoveryPolicy,
+    faults: &FaultInjector,
+    query_id: u64,
+    shard: usize,
+    work: impl Fn() -> R,
+) -> (Option<R>, ShardRecovery) {
+    let mut rec = ShardRecovery::default();
+    let mut replica = false;
+    // 0-based attempt index on the current node.
+    let mut attempt = 0u32;
+
+    // Move to the replica (hedge) or abandon the shard.
+    // Returns false when the shard is lost.
+    fn hedge_or_give_up(
+        policy: &RecoveryPolicy,
+        rec: &mut ShardRecovery,
+        replica: &mut bool,
+        attempt: &mut u32,
+    ) -> bool {
+        if policy.hedge_reads && !*replica {
+            rec.hedges += 1;
+            *replica = true;
+            *attempt = 0;
+            true
+        } else {
+            rec.gave_up = true;
+            false
+        }
+    }
+
+    loop {
+        rec.attempts += 1;
+        let fault = faults.draw(&AttemptCtx {
+            query_id,
+            shard,
+            attempt,
+            replica,
+        });
+        // Did this attempt answer?
+        match fault {
+            None => {
+                rec.served_by_replica = replica;
+                return (Some(work()), rec);
+            }
+            Some(FaultKind::Latency(delay)) => {
+                if delay <= policy.shard_timeout {
+                    rec.injected_latency += delay;
+                    rec.served_by_replica = replica;
+                    return (Some(work()), rec);
+                }
+                // Waited the full timeout for nothing.
+                rec.timeouts += 1;
+                rec.injected_latency += policy.shard_timeout;
+                // A slow node stays slow: prefer the replica over
+                // queueing behind it again.
+                if policy.hedge_reads && !replica {
+                    rec.hedges += 1;
+                    replica = true;
+                    attempt = 0;
+                    continue;
+                }
+            }
+            Some(FaultKind::TransientError) => {
+                rec.transient_errors += 1;
+            }
+            Some(FaultKind::HardFailure) => {
+                // Down is down — never re-attempt this node.
+                if hedge_or_give_up(policy, &mut rec, &mut replica, &mut attempt) {
+                    continue;
+                }
+                return (None, rec);
+            }
+        }
+        // Retry the current node if budget remains, else hedge/give up.
+        if attempt < policy.max_retries {
+            rec.backoff_wait += policy.backoff(attempt);
+            rec.retries += 1;
+            attempt += 1;
+        } else if hedge_or_give_up(policy, &mut rec, &mut replica, &mut attempt) {
+            continue;
+        } else {
+            return (None, rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FailPoint, FailPointMode};
+
+    fn injector() -> FaultInjector {
+        FaultInjector::new(0xFA17)
+    }
+
+    #[test]
+    fn clean_run_is_one_attempt() {
+        let inj = injector();
+        let (out, rec) = run_with_recovery(&RecoveryPolicy::default(), &inj, 0, 0, || 42);
+        assert_eq!(out, Some(42));
+        assert_eq!(rec.attempts, 1);
+        assert!(rec.clean());
+        assert_eq!(rec.virtual_delay(), Duration::ZERO);
+    }
+
+    #[test]
+    fn tolerable_latency_is_recorded_not_retried() {
+        let inj = injector();
+        inj.arm("slow", FailPoint::latency(0, Duration::from_millis(100)));
+        let (out, rec) = run_with_recovery(&RecoveryPolicy::default(), &inj, 0, 0, || 1);
+        assert_eq!(out, Some(1));
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.timeouts, 0);
+        assert_eq!(rec.injected_latency, Duration::from_millis(100));
+        assert!(!rec.clean());
+    }
+
+    #[test]
+    fn timeout_hedges_to_replica() {
+        let inj = injector();
+        inj.arm("stall", FailPoint::latency(0, Duration::from_secs(10)));
+        let policy = RecoveryPolicy::default();
+        let (out, rec) = run_with_recovery(&policy, &inj, 0, 0, || 1);
+        assert_eq!(out, Some(1));
+        assert_eq!(rec.timeouts, 1);
+        assert_eq!(rec.hedges, 1);
+        assert!(rec.served_by_replica);
+        assert_eq!(rec.injected_latency, policy.shard_timeout);
+    }
+
+    #[test]
+    fn timeout_without_hedging_retries_with_backoff() {
+        let inj = injector();
+        inj.arm(
+            "stall1",
+            FailPoint::latency(0, Duration::from_secs(10)).with_mode(FailPointMode::Times(1)),
+        );
+        let policy = RecoveryPolicy {
+            hedge_reads: false,
+            ..RecoveryPolicy::default()
+        };
+        let (out, rec) = run_with_recovery(&policy, &inj, 0, 0, || 1);
+        assert_eq!(out, Some(1));
+        assert_eq!(rec.timeouts, 1);
+        assert_eq!(rec.retries, 1);
+        assert_eq!(rec.hedges, 0);
+        assert_eq!(rec.backoff_wait, policy.backoff(0));
+        assert!(!rec.served_by_replica);
+    }
+
+    #[test]
+    fn transient_errors_retry_until_budget_then_hedge() {
+        let inj = injector();
+        inj.arm("flaky", FailPoint::transient(0)); // primary always errors
+        let policy = RecoveryPolicy::default();
+        let (out, rec) = run_with_recovery(&policy, &inj, 0, 0, || 1);
+        assert_eq!(out, Some(1));
+        // 1 + max_retries primary attempts, then one replica attempt.
+        assert_eq!(rec.attempts, 1 + policy.max_retries + 1);
+        assert_eq!(rec.retries, policy.max_retries);
+        assert_eq!(rec.transient_errors, 1 + policy.max_retries);
+        assert_eq!(rec.hedges, 1);
+        assert!(rec.served_by_replica);
+        // Exponential: base + 2*base.
+        assert_eq!(rec.backoff_wait, policy.backoff(0) + policy.backoff(1));
+    }
+
+    #[test]
+    fn hard_failure_hedges_immediately() {
+        let inj = injector();
+        inj.arm("down", FailPoint::hard_failure(0));
+        let (out, rec) = run_with_recovery(&RecoveryPolicy::default(), &inj, 0, 0, || 1);
+        assert_eq!(out, Some(1));
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.retries, 0, "a dead node is never retried");
+        assert_eq!(rec.hedges, 1);
+        assert!(rec.served_by_replica);
+    }
+
+    #[test]
+    fn hard_failure_of_both_copies_gives_up() {
+        let inj = injector();
+        inj.arm("gone", FailPoint::hard_failure(0).on_replica_too());
+        let (out, rec) = run_with_recovery(&RecoveryPolicy::default(), &inj, 0, 0, || 1);
+        assert_eq!(out, None::<i32>);
+        assert!(rec.gave_up);
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.hedges, 1);
+    }
+
+    #[test]
+    fn fail_fast_policy_abandons_on_first_fault() {
+        let inj = injector();
+        inj.arm("flaky", FailPoint::transient(0));
+        let (out, rec) = run_with_recovery(&RecoveryPolicy::fail_fast(), &inj, 0, 0, || 1);
+        assert_eq!(out, None::<i32>);
+        assert!(rec.gave_up);
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.retries, 0);
+        assert_eq!(rec.hedges, 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RecoveryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(35), "capped");
+        assert_eq!(p.backoff(63), Duration::from_millis(35), "shift saturates");
+    }
+
+    #[test]
+    fn work_runs_exactly_once_on_success() {
+        let inj = injector();
+        inj.arm(
+            "flaky2",
+            FailPoint::transient(0).with_mode(FailPointMode::Times(2)),
+        );
+        let calls = std::cell::Cell::new(0u32);
+        let (out, rec) = run_with_recovery(&RecoveryPolicy::default(), &inj, 0, 0, || {
+            calls.set(calls.get() + 1);
+            7
+        });
+        assert_eq!(out, Some(7));
+        assert_eq!(calls.get(), 1, "failed attempts never invoke the work");
+        assert_eq!(rec.attempts, 3);
+    }
+}

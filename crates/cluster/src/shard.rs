@@ -1,12 +1,12 @@
 //! A shard: one `mongod` holding a slice of the collection.
 
 use crate::shardkey::ShardKey;
+use std::ops::Bound;
 use sts_btree::SizeReport;
 use sts_document::Document;
 use sts_index::{IndexSpec, ScanRange};
 use sts_query::LocalCollection;
 use sts_storage::CollectionStats;
-use std::ops::Bound;
 
 /// One cluster node's data.
 pub struct Shard {

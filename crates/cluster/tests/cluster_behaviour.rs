@@ -160,7 +160,11 @@ fn zones_improve_locality() {
     c.apply_zones(&boundaries);
     let (docs_after, after) = c.query(&f);
 
-    assert_eq!(docs_before.len(), docs_after.len(), "zones preserve results");
+    assert_eq!(
+        docs_before.len(),
+        docs_after.len(),
+        "zones preserve results"
+    );
     assert_eq!(c.doc_count(), 6_000);
     assert!(
         after.nodes() <= before.nodes(),
@@ -187,7 +191,8 @@ fn jumbo_chunks_on_degenerate_keys() {
         vec![],
     );
     for i in 0..500 {
-        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i), 7)).unwrap();
+        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i), 7))
+            .unwrap();
     }
     assert!(c.chunk_map().chunks().iter().any(|ch| ch.jumbo));
     assert_eq!(c.doc_count(), 500);

@@ -5,7 +5,7 @@ use crate::config::StoreConfig;
 use crate::query::{build_filter, StQuery};
 use crate::report::QueryReport;
 use crate::{HILBERT_FIELD, LOCATION_FIELD};
-use sts_cluster::{Cluster, ClusterConfig, ClusterQueryReport};
+use sts_cluster::{Cluster, ClusterConfig, ClusterQueryReport, FailPoint, RecoveryPolicy};
 use sts_curve::CurveGrid;
 use sts_document::Document;
 use sts_index::geo_point_of;
@@ -28,6 +28,8 @@ impl StStore {
                 num_shards: config.num_shards,
                 max_chunk_bytes: config.max_chunk_bytes,
                 planner: config.planner,
+                recovery: config.recovery,
+                fault_seed: config.fault_seed,
             },
             config.approach.shard_key(),
             config.approach.index_specs(config.geo_bits),
@@ -62,6 +64,27 @@ impl StStore {
     /// Mutable cluster access (zone management, balancing).
     pub(crate) fn cluster_mut(&mut self) -> &mut Cluster {
         &mut self.cluster
+    }
+
+    /// Arm (or re-arm) a named failpoint on the router — chaos testing
+    /// through the read-only facade, like `configureFailPoint`.
+    pub fn arm_failpoint(&self, name: impl Into<String>, point: FailPoint) {
+        self.cluster.arm_failpoint(name, point);
+    }
+
+    /// Disarm one failpoint; `true` if it was armed.
+    pub fn disarm_failpoint(&self, name: &str) -> bool {
+        self.cluster.disarm_failpoint(name)
+    }
+
+    /// Disarm every failpoint.
+    pub fn disarm_all_failpoints(&self) {
+        self.cluster.disarm_all_failpoints();
+    }
+
+    /// Replace the router's recovery policy.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.cluster.set_recovery_policy(policy);
     }
 
     /// Augment (for Hilbert methods) and insert one document.
@@ -113,6 +136,23 @@ impl StStore {
                 hilbert_ranges,
             },
         )
+    }
+
+    /// Like [`StStore::st_query`], but a shard abandoned by the
+    /// fault-tolerant router is an error instead of a silently partial
+    /// result set.
+    pub fn try_st_query(
+        &self,
+        query: &StQuery,
+    ) -> Result<(Vec<Document>, QueryReport), sts_query::QueryError> {
+        let (docs, report) = self.st_query(query);
+        if report.cluster.partial {
+            Err(sts_query::QueryError::ShardsUnavailable {
+                shards: report.cluster.failed_shards(),
+            })
+        } else {
+            Ok((docs, report))
+        }
     }
 
     /// Execute a **polygonal** spatio-temporal query (§6 extension):

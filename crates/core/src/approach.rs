@@ -1,11 +1,11 @@
 //! The four indexing/partitioning approaches of §5.1.
 
 use crate::{DATE_FIELD, HILBERT_FIELD, LOCATION_FIELD};
+use std::fmt;
 use sts_cluster::ShardKey;
 use sts_curve::CurveGrid;
 use sts_geo::GeoRect;
 use sts_index::{IndexField, IndexSpec};
-use std::fmt;
 
 /// Which indexing + sharding method the store runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -64,9 +64,7 @@ impl Approach {
     pub fn shard_key(self) -> ShardKey {
         match self {
             Approach::BslST | Approach::BslTS => ShardKey::range(&[DATE_FIELD]),
-            Approach::Hil | Approach::HilStar => {
-                ShardKey::range(&[HILBERT_FIELD, DATE_FIELD])
-            }
+            Approach::Hil | Approach::HilStar => ShardKey::range(&[HILBERT_FIELD, DATE_FIELD]),
             Approach::StHash => ShardKey::range(&[crate::sthash::STHASH_FIELD]),
         }
     }
@@ -166,6 +164,9 @@ mod tests {
     #[test]
     fn names_and_display() {
         assert_eq!(Approach::HilStar.to_string(), "hil*");
-        assert_eq!(Approach::ALL.map(|a| a.name()).join(","), "bslST,bslTS,hil,hil*");
+        assert_eq!(
+            Approach::ALL.map(|a| a.name()).join(","),
+            "bslST,bslTS,hil,hil*"
+        );
     }
 }

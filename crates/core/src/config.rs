@@ -1,6 +1,7 @@
 //! Store configuration.
 
 use crate::approach::Approach;
+use sts_cluster::RecoveryPolicy;
 use sts_curve::RangeBudget;
 use sts_geo::GeoRect;
 use sts_query::Planner;
@@ -27,6 +28,11 @@ pub struct StoreConfig {
     pub range_budget: RangeBudget,
     /// Per-shard query planner settings.
     pub planner: Planner,
+    /// Router fault tolerance: per-shard timeouts, bounded backoff
+    /// retries, hedged reads.
+    pub recovery: RecoveryPolicy,
+    /// Seed for deterministic failpoint draws (chaos testing).
+    pub fault_seed: u64,
 }
 
 impl Default for StoreConfig {
@@ -42,6 +48,8 @@ impl Default for StoreConfig {
             data_mbr: GeoRect::new(19.632533, 34.929233, 28.245285, 41.757797),
             range_budget: RangeBudget::default(),
             planner: Planner::default(),
+            recovery: RecoveryPolicy::default(),
+            fault_seed: 0x5EED_FA17,
         }
     }
 }

@@ -63,6 +63,8 @@ pub use approach::Approach;
 pub use config::StoreConfig;
 pub use query::{build_filter, StQuery};
 pub use report::QueryReport;
+pub use sts_cluster::{FailPoint, FailPointMode, FaultKind, RecoveryPolicy, ShardRecovery};
+pub use sts_query::QueryError;
 
 /// Document field holding the GeoJSON point.
 pub const LOCATION_FIELD: &str = "location";

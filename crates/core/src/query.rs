@@ -1,11 +1,11 @@
 //! Spatio-temporal query construction per approach.
 
 use crate::{DATE_FIELD, HILBERT_FIELD, LOCATION_FIELD};
+use std::time::{Duration, Instant};
 use sts_curve::{CurveGrid, RangeBudget};
 use sts_document::{DateTime, Value};
 use sts_geo::GeoRect;
 use sts_query::Filter;
-use std::time::{Duration, Instant};
 
 /// A spatio-temporal range query: "every point inside `rect` between
 /// `t0` and `t1`" (both endpoints inclusive, like the paper's

@@ -1,7 +1,7 @@
 //! Per-query reports combining cluster metrics and curve overhead.
 
-use sts_cluster::ClusterQueryReport;
 use std::time::Duration;
+use sts_cluster::ClusterQueryReport;
 
 /// Everything the paper measures for one query execution.
 #[derive(Debug, Clone, Default)]
@@ -41,17 +41,20 @@ mod tests {
 
     #[test]
     fn latency_is_the_slowest_shard() {
-        let mk = |ms: u64| ShardExecution {
-            shard: 0,
-            stats: ExecutionStats {
-                duration: Duration::from_millis(ms),
-                ..Default::default()
-            },
+        let mk = |ms: u64| {
+            ShardExecution::clean(
+                0,
+                ExecutionStats {
+                    duration: Duration::from_millis(ms),
+                    ..Default::default()
+                },
+            )
         };
         let r = QueryReport {
             cluster: ClusterQueryReport {
                 per_shard: vec![mk(3), mk(11), mk(7)],
                 broadcast: false,
+                partial: false,
                 wall: Duration::from_millis(25),
             },
             hilbert_time: Duration::from_micros(5),

@@ -15,10 +15,10 @@
 
 use crate::query::StQuery;
 use crate::{DATE_FIELD, LOCATION_FIELD};
+use std::time::{Duration, Instant};
 use sts_document::DateTime;
 use sts_geo::{cells_to_ranges, cover_rect, GeoHash, GeoPoint};
 use sts_query::Filter;
-use std::time::{Duration, Instant};
 
 /// Document field carrying the ST-Hash value.
 pub const STHASH_FIELD: &str = "stHash";
@@ -131,7 +131,12 @@ mod tests {
         let month = sthash_intervals(&q(30), usize::MAX);
         // The paper's critique, visible: D days ⇒ ~D× the intervals for
         // the same tiny rectangle.
-        assert!(week.len() >= 7 * one.len() / 2, "{} vs {}", week.len(), one.len());
+        assert!(
+            week.len() >= 7 * one.len() / 2,
+            "{} vs {}",
+            week.len(),
+            one.len()
+        );
         assert!(month.len() >= 25 * one.len() / 2);
     }
 

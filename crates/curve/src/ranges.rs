@@ -209,8 +209,7 @@ mod tests {
             );
         }
         // Total covered span only grows.
-        let span =
-            |rs: &[(u64, u64)]| rs.iter().map(|(lo, hi)| hi - lo + 1).sum::<u64>();
+        let span = |rs: &[(u64, u64)]| rs.iter().map(|(lo, hi)| hi - lo + 1).sum::<u64>();
         assert!(span(&budgeted) >= span(&exact));
     }
 

@@ -69,9 +69,7 @@ impl DateTime {
             return Err(bad());
         }
         let num = |r: std::ops::Range<usize>| -> Result<i64> {
-            s.get(r)
-                .and_then(|t| t.parse::<i64>().ok())
-                .ok_or_else(bad)
+            s.get(r).and_then(|t| t.parse::<i64>().ok()).ok_or_else(bad)
         };
         if b[4] != b'-' || b[7] != b'-' || (b[10] != b'T' && b[10] != b' ') {
             return Err(bad());

@@ -100,7 +100,8 @@ impl Document {
         }
         let id = ObjectId::with_timestamp(ts_secs);
         // `_id` conventionally leads the document.
-        self.fields.insert(0, ("_id".to_string(), Value::ObjectId(id)));
+        self.fields
+            .insert(0, ("_id".to_string(), Value::ObjectId(id)));
         id
     }
 

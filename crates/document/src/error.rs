@@ -14,7 +14,10 @@ pub enum DocError {
     /// A path lookup failed (reported by callers that require presence).
     MissingField(String),
     /// A value had an unexpected type for the requested operation.
-    TypeMismatch { expected: &'static str, found: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for DocError {

@@ -39,7 +39,10 @@ fn dotted_paths_with_numeric_field_names() {
         "outer" => doc! {"0" => "field-not-index"},
         "arr" => vec![Value::from("a"), Value::from("b")],
     };
-    assert_eq!(d.get_path("outer.0").unwrap().as_str(), Some("field-not-index"));
+    assert_eq!(
+        d.get_path("outer.0").unwrap().as_str(),
+        Some("field-not-index")
+    );
     assert_eq!(d.get_path("arr.1").unwrap().as_str(), Some("b"));
     assert!(d.get_path("arr.x").is_none());
     assert!(d.get_path("").is_none());

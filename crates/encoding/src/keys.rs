@@ -88,7 +88,9 @@ fn encode_f64(x: f64) -> u64 {
     if x.is_nan() {
         return 0;
     }
-    let bits = x.to_bits();
+    // Canonicalize -0.0: the comparison order treats the zeros as equal
+    // (MongoDB semantics), so their index keys must be identical too.
+    let bits = if x == 0.0 { 0 } else { x.to_bits() };
     if bits >> 63 == 1 {
         // Negative: flip all bits. -inf → 0x000FFF… (> 0, above NaN).
         !bits

@@ -3,8 +3,8 @@
 use crate::point::GeoPoint;
 use crate::rect::GeoRect;
 use crate::WORLD;
-use sts_encoding::base32_encode;
 use std::fmt;
+use sts_encoding::base32_encode;
 
 /// A GeoHash cell: `level` interleaved bits (longitude first), stored
 /// right-aligned in `bits`.

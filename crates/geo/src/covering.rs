@@ -115,7 +115,10 @@ mod tests {
         let small = cover_rect(&small_rect(), 26, 1_024);
         let big = cover_rect(&big_rect(), 26, 1_024);
         let span = |cells: &[GeoHash]| -> u64 {
-            cells_to_ranges(cells, 26).iter().map(|(lo, hi)| hi - lo + 1).sum()
+            cells_to_ranges(cells, 26)
+                .iter()
+                .map(|(lo, hi)| hi - lo + 1)
+                .sum()
         };
         // The paper's big rect has ~2,600× the area, but at 26-bit cell
         // granularity the tiny small rect still costs a few whole cells,

@@ -109,9 +109,7 @@ mod tests {
     #[test]
     fn rejects_degenerate() {
         assert!(GeoPolygon::new(vec![]).is_none());
-        assert!(
-            GeoPolygon::new(vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]).is_none()
-        );
+        assert!(GeoPolygon::new(vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]).is_none());
         assert!(GeoPolygon::new(vec![
             GeoPoint::new(0.0, 0.0),
             GeoPoint::new(1.0, 1.0),

@@ -45,7 +45,10 @@ impl GeoRect {
     /// Closed-boundary containment (MongoDB's `$geoWithin` on a box treats
     /// boundary points as inside).
     pub fn contains(&self, p: GeoPoint) -> bool {
-        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 
     /// Closed-boundary rectangle intersection.

@@ -1,9 +1,9 @@
 //! Building B+tree scan ranges from typed constraints.
 
+use std::ops::Bound;
 use sts_btree::KeyBound;
 use sts_document::Value;
 use sts_encoding::KeyWriter;
-use std::ops::Bound;
 
 /// Nine `0xFF` bytes: appended to an encoded key prefix, this sorts after
 /// every stored entry sharing that prefix. Stored entries end with an
@@ -179,7 +179,11 @@ mod tests {
         let mut w = KeyWriter::new();
         w.push(&Value::Int64(7)).push_raw_u64(u64::MAX);
         t.insert(&w.finish(), 0);
-        let r = ScanRange::with_prefix(&[], Some((&Value::Int64(7), true)), Some((&Value::Int64(7), true)));
+        let r = ScanRange::with_prefix(
+            &[],
+            Some((&Value::Int64(7), true)),
+            Some((&Value::Int64(7), true)),
+        );
         assert_eq!(scan(&t, &r), vec![0]);
     }
 }

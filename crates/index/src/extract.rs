@@ -111,8 +111,7 @@ mod tests {
         );
         let vals = extract_key_values(&spec, &geo_doc()).unwrap();
         assert_eq!(vals.len(), 2);
-        let expected =
-            GeoHash::encode(GeoPoint::new(23.727539, 37.983810), 26).bits() as i64;
+        let expected = GeoHash::encode(GeoPoint::new(23.727539, 37.983810), 26).bits() as i64;
         assert_eq!(vals[0].as_i64(), Some(expected));
         assert_eq!(vals[1].as_datetime(), Some(DateTime::from_millis(1_000)));
     }

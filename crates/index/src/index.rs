@@ -3,10 +3,10 @@
 use crate::bounds::ScanRange;
 use crate::extract::extract_key_values;
 use crate::spec::IndexSpec;
+use std::ops::ControlFlow;
 use sts_btree::{BTree, SizeReport};
 use sts_document::{Document, Value};
 use sts_encoding::{KeyReader, KeyWriter};
-use std::ops::ControlFlow;
 
 /// Statistics of one or more index scans.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

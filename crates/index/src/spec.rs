@@ -75,7 +75,10 @@ impl IndexSpec {
     /// Build a spec; panics on empty or oversized field lists.
     pub fn new(name: impl Into<String>, fields: Vec<IndexField>) -> Self {
         assert!(!fields.is_empty(), "index needs at least one field");
-        assert!(fields.len() <= 32, "MongoDB caps compound indexes at 32 fields");
+        assert!(
+            fields.len() <= 32,
+            "MongoDB caps compound indexes at 32 fields"
+        );
         IndexSpec {
             name: name.into(),
             fields,

@@ -12,8 +12,8 @@
 use crate::explain::ExecutionStats;
 use crate::filter::Filter;
 use crate::LocalCollection;
-use sts_document::{Document, Value};
 use std::collections::BTreeMap;
+use sts_document::{Document, Value};
 
 /// An accumulator specification.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,7 +64,10 @@ impl GroupBy {
 enum AccState {
     Count(u64),
     /// Shared by Sum and Avg (Avg finalizes as sum/count).
-    Sum { sum: f64, count: u64 },
+    Sum {
+        sum: f64,
+        count: u64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -115,13 +118,7 @@ impl AccState {
     fn merge(&mut self, other: &AccState) {
         match (self, other) {
             (AccState::Count(a), AccState::Count(b)) => *a += b,
-            (
-                AccState::Sum { sum, count },
-                AccState::Sum {
-                    sum: s2,
-                    count: c2,
-                },
-            ) => {
+            (AccState::Sum { sum, count }, AccState::Sum { sum: s2, count: c2 }) => {
                 *sum += s2;
                 *count += c2;
             }
@@ -160,9 +157,7 @@ impl AccState {
                     Value::Double(*sum / *count as f64)
                 }
             }
-            (AccState::Min(v), _) | (AccState::Max(v), _) => {
-                v.clone().unwrap_or(Value::Null)
-            }
+            (AccState::Min(v), _) | (AccState::Max(v), _) => v.clone().unwrap_or(Value::Null),
             _ => unreachable!("state/spec pairing fixed at construction"),
         }
     }

@@ -1,0 +1,41 @@
+//! Query-layer errors that propagate through the distributed executor.
+
+/// Why a distributed query could not produce a complete result set.
+///
+/// The fault-tolerant router degrades to partial results by default
+/// (flagging them in the report); the `try_*` entry points convert
+/// that degradation into this error instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// These shards never answered, even after retries and hedging.
+    ShardsUnavailable {
+        /// The abandoned shard ids, ascending.
+        shards: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ShardsUnavailable { shards } => {
+                write!(f, "shards {shards:?} unavailable after retries and hedging")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_shards() {
+        let e = QueryError::ShardsUnavailable { shards: vec![2, 5] };
+        assert_eq!(
+            e.to_string(),
+            "shards [2, 5] unavailable after retries and hedging"
+        );
+    }
+}

@@ -4,9 +4,9 @@ use crate::collection::LocalCollection;
 use crate::explain::ExecutionStats;
 use crate::filter::Filter;
 use crate::plan::{IndexAccess, QueryPlan};
-use sts_document::Document;
 use std::ops::ControlFlow;
 use std::time::Instant;
+use sts_document::Document;
 
 /// Work budget for trial executions (MongoDB's multi-planner runs each
 /// candidate for a bounded number of works).

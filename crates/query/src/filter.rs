@@ -1,10 +1,10 @@
 //! The query filter AST and document-level evaluation.
 
+use std::cmp::Ordering;
+use std::fmt;
 use sts_document::{Document, Value};
 use sts_geo::{GeoPolygon, GeoRect};
 use sts_index::geo_point_of;
-use std::cmp::Ordering;
-use std::fmt;
 
 /// Comparison operators (MongoDB query operators).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -140,7 +140,11 @@ impl fmt::Debug for Filter {
             Filter::In { path, values } => write!(f, "{{{path}: $in {values:?}}}"),
             Filter::GeoWithin { path, rect } => write!(f, "{{{path}: $geoWithin {rect:?}}}"),
             Filter::GeoWithinPolygon { path, polygon } => {
-                write!(f, "{{{path}: $geoWithin polygon[{}]}}", polygon.vertices().len())
+                write!(
+                    f,
+                    "{{{path}: $geoWithin polygon[{}]}}",
+                    polygon.vertices().len()
+                )
             }
         }
     }

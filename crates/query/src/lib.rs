@@ -49,6 +49,7 @@
 pub mod aggregate;
 
 mod collection;
+mod error;
 mod executor;
 mod explain;
 mod filter;
@@ -59,6 +60,7 @@ mod shape;
 
 pub use aggregate::{aggregate_local, Accumulator, GroupBy, PartialAggregation};
 pub use collection::LocalCollection;
+pub use error::QueryError;
 pub use executor::{execute_plan, execute_plan_with_rids, ExecBudget};
 pub use explain::ExecutionStats;
 pub use filter::{CmpOp, Filter};

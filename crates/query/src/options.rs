@@ -4,8 +4,8 @@
 //! scatter/gather top-k: every shard returns its own best `k`, the
 //! router merges and truncates. The shard-local part lives here.
 
-use sts_document::{Document, Value};
 use std::cmp::Ordering;
+use sts_document::{Document, Value};
 
 /// Sort direction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -96,7 +96,9 @@ mod tests {
     }
 
     fn ids(docs: &[Document]) -> Vec<i64> {
-        docs.iter().map(|d| d.get("id").unwrap().as_i64().unwrap()).collect()
+        docs.iter()
+            .map(|d| d.get("id").unwrap().as_i64().unwrap())
+            .collect()
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Physical query plans.
 
+use std::cmp::Ordering;
 use sts_document::Value;
 use sts_index::ScanRange;
-use std::cmp::Ordering;
 
 /// How the chosen index is traversed.
 #[derive(Clone, Debug)]

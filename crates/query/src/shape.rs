@@ -1,9 +1,9 @@
 //! Normalizing filters into planner-friendly shapes.
 
 use crate::filter::{CmpOp, Filter};
+use std::cmp::Ordering;
 use sts_document::Value;
 use sts_geo::GeoRect;
-use std::cmp::Ordering;
 
 /// An interval over one field's values; `None` endpoints are unbounded.
 /// Present endpoints are inclusive (strict predicates widen to inclusive
@@ -183,7 +183,9 @@ impl QueryShape {
                         else {
                             return false;
                         };
-                        let Some(x) = value.as_i64() else { return false };
+                        let Some(x) = value.as_i64() else {
+                            return false;
+                        };
                         if path.get_or_insert_with(|| pp.clone()) != pp {
                             return false;
                         }
@@ -207,7 +209,9 @@ impl QueryShape {
                     op: CmpOp::Eq,
                     value,
                 } => {
-                    let Some(x) = value.as_i64() else { return false };
+                    let Some(x) = value.as_i64() else {
+                        return false;
+                    };
                     if path.get_or_insert_with(|| pp.clone()) != pp {
                         return false;
                     }
@@ -325,10 +329,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_or_is_not_captured() {
-        let q = Filter::Or(vec![
-            Filter::eq("h", 5i64),
-            Filter::eq("speed", 1i64),
-        ]);
+        let q = Filter::Or(vec![Filter::eq("h", 5i64), Filter::eq("speed", 1i64)]);
         let s = QueryShape::analyze(&q);
         assert!(!s.fully_captured);
         assert!(s.int_intervals.is_none());

@@ -31,7 +31,8 @@ fn bsl_st_collection(n: u32) -> LocalCollection {
     for i in 0..n {
         let lon = 20.0 + (i % 100) as f64 * 0.08;
         let lat = 35.0 + ((i / 100) % 60) as f64 * 0.1;
-        c.insert(&point_doc(i, lon, lat, i64::from(i) * 10_000)).unwrap();
+        c.insert(&point_doc(i, lon, lat, i64::from(i) * 10_000))
+            .unwrap();
     }
     c
 }
@@ -98,8 +99,13 @@ fn hilbert_compound_gets_skip_scan() {
         vec![IndexField::asc("hilbertIndex"), IndexField::asc("date")],
     ));
     for i in 0..500 {
-        c.insert(&point_doc(i, 20.0 + (i % 50) as f64 * 0.1, 36.0, i64::from(i) * 1_000))
-            .unwrap();
+        c.insert(&point_doc(
+            i,
+            20.0 + (i % 50) as f64 * 0.1,
+            36.0,
+            i64::from(i) * 1_000,
+        ))
+        .unwrap();
     }
     let f = Filter::And(vec![
         Filter::gte("date", DateTime::from_millis(100_000)),

@@ -1,12 +1,12 @@
 //! Storage-layer edge cases: block boundaries and compression behaviour
 //! around the 32 KB packing size.
 
-use sts_document::{doc, Document, Value};
+use sts_document::{doc, Document};
 use sts_storage::{snappy_lite, CollectionStore, BLOCK_SIZE};
 
 fn doc_of_size(i: usize, approx_bytes: usize) -> Document {
     let mut d = doc! {
-        "seq" => (i as i64),
+        "seq" => i as i64,
         "pad" => "x".repeat(approx_bytes.saturating_sub(40)),
     };
     d.ensure_id(i as u32);

@@ -1,0 +1,212 @@
+//! Chaos scenario generator: deterministic failpoint profiles for
+//! fault drills against a deployed store.
+//!
+//! A [`ChaosScenario`] is a named set of failpoints to arm together.
+//! [`scenarios`] derives a reproducible suite from a seed — every
+//! draw comes from a seeded [`StdRng`], so the same config always
+//! yields the same faults — and [`default_profile`] is the fixed
+//! single-shard profile the CI chaos job runs the e2e suite under.
+
+use rand::prelude::*;
+use std::time::Duration;
+use sts_core::{FailPoint, FailPointMode, StStore};
+
+/// Chaos-suite configuration.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Deterministic seed for the scenario draws.
+    pub seed: u64,
+    /// Shard count of the store under test.
+    pub num_shards: usize,
+    /// Scenarios to generate.
+    pub scenarios: usize,
+    /// Include hard failures (primaries down, hedging required).
+    pub include_hard: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5151,
+            num_shards: 12,
+            scenarios: 8,
+            include_hard: true,
+        }
+    }
+}
+
+/// One named fault drill: failpoints armed together.
+#[derive(Clone, Debug)]
+pub struct ChaosScenario {
+    /// Human-readable scenario name (unique within a suite).
+    pub name: String,
+    /// `(failpoint name, failpoint)` pairs to arm.
+    pub points: Vec<(String, FailPoint)>,
+}
+
+impl ChaosScenario {
+    /// Arm every failpoint of this scenario on the store's router.
+    pub fn arm(&self, store: &StStore) {
+        for (name, point) in &self.points {
+            store.arm_failpoint(name.clone(), point.clone());
+        }
+    }
+
+    /// Disarm this scenario's failpoints.
+    pub fn disarm(&self, store: &StStore) {
+        for (name, _) in &self.points {
+            store.disarm_failpoint(name);
+        }
+    }
+}
+
+/// The fixed profile the CI chaos job uses: one slow shard (latency
+/// past any default timeout), one flaky shard (transient errors that
+/// stop after two attempts), one dead primary. Shards are chosen
+/// spread across the cluster; with fewer than three shards the
+/// profile degrades gracefully to the shards that exist.
+pub fn default_profile(num_shards: usize) -> ChaosScenario {
+    assert!(num_shards >= 1, "need at least one shard");
+    let slow = 0;
+    let flaky = (num_shards / 2).min(num_shards - 1);
+    let dead = num_shards - 1;
+    let mut points = vec![(
+        "chaos/slow".to_string(),
+        FailPoint::latency(slow, Duration::from_secs(3600)),
+    )];
+    if flaky != slow {
+        points.push((
+            "chaos/flaky".to_string(),
+            FailPoint::transient(flaky).with_mode(FailPointMode::Times(2)),
+        ));
+    }
+    if dead != slow && dead != flaky {
+        points.push(("chaos/dead".to_string(), FailPoint::hard_failure(dead)));
+    }
+    ChaosScenario {
+        name: "default-profile".to_string(),
+        points,
+    }
+}
+
+/// Generate a deterministic chaos suite: each scenario afflicts one
+/// random shard with one random fault kind and firing mode.
+pub fn scenarios(cfg: &ChaosConfig) -> Vec<ChaosScenario> {
+    assert!(cfg.num_shards >= 1, "need at least one shard");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.scenarios);
+    for i in 0..cfg.scenarios {
+        let shard = rng.gen_range(0..cfg.num_shards);
+        let n_kinds = if cfg.include_hard { 3 } else { 2 };
+        let (kind_name, point) = match rng.gen_range(0..n_kinds) {
+            0 => {
+                // Latency from well-under to well-over a sane timeout.
+                let ms = rng.gen_range(5..2_000u64);
+                (
+                    format!("latency-{ms}ms"),
+                    FailPoint::latency(shard, Duration::from_millis(ms)),
+                )
+            }
+            1 => ("transient".to_string(), FailPoint::transient(shard)),
+            _ => ("hard".to_string(), FailPoint::hard_failure(shard)),
+        };
+        let (mode_name, mode) = match rng.gen_range(0..3usize) {
+            0 => {
+                let n = rng.gen_range(1..4u32);
+                (format!("times{n}"), FailPointMode::Times(n))
+            }
+            1 => ("always".to_string(), FailPointMode::AlwaysOn),
+            _ => {
+                let probability = rng.gen_range(0.1..0.5f64);
+                (
+                    format!("p{:02}", (probability * 100.0) as u32),
+                    FailPointMode::Random { probability },
+                )
+            }
+        };
+        let name = format!("chaos-{i}/{kind_name}-{mode_name}-shard{shard}");
+        out.push(ChaosScenario {
+            name: name.clone(),
+            points: vec![(name, point.with_mode(mode))],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_core::FaultKind;
+
+    #[test]
+    fn suite_is_deterministic_in_seed() {
+        let cfg = ChaosConfig::default();
+        let a = scenarios(&cfg);
+        let b = scenarios(&cfg);
+        assert_eq!(a.len(), cfg.scenarios);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.points, y.points);
+        }
+        let c = scenarios(&ChaosConfig {
+            seed: 1,
+            ..cfg.clone()
+        });
+        assert!(a.iter().zip(&c).any(|(x, y)| x.points != y.points));
+    }
+
+    #[test]
+    fn scenarios_stay_inside_the_cluster() {
+        let cfg = ChaosConfig {
+            num_shards: 3,
+            scenarios: 50,
+            ..Default::default()
+        };
+        for s in scenarios(&cfg) {
+            for (_, p) in &s.points {
+                assert!(p.shard.unwrap() < 3, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn include_hard_false_never_kills_a_shard() {
+        let cfg = ChaosConfig {
+            include_hard: false,
+            scenarios: 60,
+            ..Default::default()
+        };
+        for s in scenarios(&cfg) {
+            for (_, p) in &s.points {
+                assert_ne!(p.kind, FaultKind::HardFailure, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_profile_covers_three_distinct_shards() {
+        let p = default_profile(12);
+        assert_eq!(p.points.len(), 3);
+        let shards: Vec<usize> = p.points.iter().map(|(_, f)| f.shard.unwrap()).collect();
+        assert_eq!(shards, vec![0, 6, 11]);
+        // Degrades with tiny clusters.
+        assert_eq!(default_profile(1).points.len(), 1);
+        assert_eq!(default_profile(2).points.len(), 2);
+    }
+
+    #[test]
+    fn arm_and_disarm_round_trip_on_a_store() {
+        let store = StStore::new(sts_core::StoreConfig {
+            num_shards: 4,
+            ..Default::default()
+        });
+        let profile = default_profile(4);
+        profile.arm(&store);
+        assert_eq!(
+            store.cluster().fault_injector().armed().len(),
+            profile.points.len()
+        );
+        profile.disarm(&store);
+        assert!(!store.cluster().fault_injector().is_active());
+    }
+}

@@ -6,8 +6,8 @@
 //! 4-column S schema share one reader.
 
 use crate::record::Record;
-use sts_document::{DateTime, Value};
 use std::io::{self, BufRead, BufWriter, Write};
+use sts_document::{DateTime, Value};
 
 /// Write records as CSV.
 pub fn write_csv<W: Write>(w: W, records: &[Record]) -> io::Result<()> {
@@ -49,8 +49,12 @@ pub fn read_csv<R: io::Read>(r: R) -> io::Result<Vec<Record>> {
             continue;
         }
         let mut cells = line.split(',');
-        let parse_err =
-            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {what}", lineno + 1));
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}", lineno + 1),
+            )
+        };
         let id = cells
             .next()
             .and_then(|c| c.parse().ok())

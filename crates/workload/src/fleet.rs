@@ -101,7 +101,11 @@ pub fn generate(cfg: &FleetConfig) -> Vec<Record> {
                 pick_hotspot(&mut rng)
             };
             let to = jitter_around(to_center, &jitter, &mut rng);
-            let t0 = rng.gen_range(0..span_ms.saturating_sub(fixes as i64 * FIX_INTERVAL_MS).max(1));
+            let t0 = rng.gen_range(
+                0..span_ms
+                    .saturating_sub(fixes as i64 * FIX_INTERVAL_MS)
+                    .max(1),
+            );
             for f in 0..fixes {
                 let frac = f as f64 / fixes.max(2) as f64;
                 // Linear interpolation plus small GPS noise.
@@ -166,27 +170,75 @@ fn payload_fields(n: usize, vehicle: u32, p: &GeoPoint, rng: &mut StdRng) -> Vec
             out.push((k.to_string(), v));
         }
     };
-    push(&mut out, "speedKmh", Value::from((rng.gen_range(0.0..130.0f64) * 10.0).round() / 10.0));
+    push(
+        &mut out,
+        "speedKmh",
+        Value::from((rng.gen_range(0.0..130.0f64) * 10.0).round() / 10.0),
+    );
     push(&mut out, "heading", Value::from(rng.gen_range(0..360)));
     push(&mut out, "engineRpm", Value::from(rng.gen_range(700..3500)));
-    push(&mut out, "fuelLevel", Value::from((rng.gen_range(0.05..1.0f64) * 100.0).round() / 100.0));
-    push(&mut out, "odometerKm", Value::from(rng.gen_range(10_000.0..400_000.0f64).round()));
+    push(
+        &mut out,
+        "fuelLevel",
+        Value::from((rng.gen_range(0.05..1.0f64) * 100.0).round() / 100.0),
+    );
+    push(
+        &mut out,
+        "odometerKm",
+        Value::from(rng.gen_range(10_000.0..400_000.0f64).round()),
+    );
     push(&mut out, "ignition", Value::from(true));
-    push(&mut out, "driverId", Value::from(format!("drv-{:04}", vehicle % 997)));
-    push(&mut out, "weatherMain", Value::from(weather[rng.gen_range(0..weather.len())]));
-    push(&mut out, "temperatureC", Value::from((rng.gen_range(-5.0..40.0f64) * 10.0).round() / 10.0));
+    push(
+        &mut out,
+        "driverId",
+        Value::from(format!("drv-{:04}", vehicle % 997)),
+    );
+    push(
+        &mut out,
+        "weatherMain",
+        Value::from(weather[rng.gen_range(0..weather.len())]),
+    );
+    push(
+        &mut out,
+        "temperatureC",
+        Value::from((rng.gen_range(-5.0..40.0f64) * 10.0).round() / 10.0),
+    );
     push(&mut out, "humidityPct", Value::from(rng.gen_range(20..100)));
-    push(&mut out, "windMs", Value::from((rng.gen_range(0.0..20.0f64) * 10.0).round() / 10.0));
-    push(&mut out, "roadType", Value::from(road_types[rng.gen_range(0..road_types.len())]));
-    push(&mut out, "roadSpeedLimit", Value::from([50, 80, 90, 110, 130][rng.gen_range(0..5)]));
-    push(&mut out, "roadName", Value::from(format!("rd-{:03}", rng.gen_range(0..500))));
-    push(&mut out, "nearestPoiType", Value::from(poi[rng.gen_range(0..poi.len())]));
+    push(
+        &mut out,
+        "windMs",
+        Value::from((rng.gen_range(0.0..20.0f64) * 10.0).round() / 10.0),
+    );
+    push(
+        &mut out,
+        "roadType",
+        Value::from(road_types[rng.gen_range(0..road_types.len())]),
+    );
+    push(
+        &mut out,
+        "roadSpeedLimit",
+        Value::from([50, 80, 90, 110, 130][rng.gen_range(0..5usize)]),
+    );
+    push(
+        &mut out,
+        "roadName",
+        Value::from(format!("rd-{:03}", rng.gen_range(0..500))),
+    );
+    push(
+        &mut out,
+        "nearestPoiType",
+        Value::from(poi[rng.gen_range(0..poi.len())]),
+    );
     push(
         &mut out,
         "nearestPoiDistM",
         Value::from((rng.gen_range(5.0..5_000.0f64)).round()),
     );
-    push(&mut out, "regionCode", Value::from(format!("GR-{:02}", (p.lon * 3.0) as i32 % 13)));
+    push(
+        &mut out,
+        "regionCode",
+        Value::from(format!("GR-{:02}", (p.lon * 3.0) as i32 % 13)),
+    );
     // Generic filler columns complete the 75-value schema.
     let mut i = 0;
     while out.len() < n {
@@ -282,8 +334,7 @@ mod tests {
             vehicles: 200,
             ..Default::default()
         });
-        let vehicles: std::collections::HashSet<u32> =
-            big.iter().map(|r| r.vehicle).collect();
+        let vehicles: std::collections::HashSet<u32> = big.iter().map(|r| r.vehicle).collect();
         assert!(vehicles.len() > 150);
     }
 }

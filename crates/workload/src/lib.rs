@@ -16,6 +16,7 @@
 //! rectangle × 1 hour/day/week/month, §5.1) and [`scale`] the R1–R4
 //! scale factors of §5.4. Everything is deterministic in a seed.
 
+pub mod chaos;
 pub mod csv;
 pub mod fleet;
 pub mod queries;

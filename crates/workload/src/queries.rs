@@ -115,7 +115,10 @@ mod tests {
     fn full_workload_has_eight_queries() {
         let w = full_workload(start());
         assert_eq!(w.len(), 8);
-        assert_eq!(w.iter().filter(|(s, _, _)| *s == QuerySize::Small).count(), 4);
+        assert_eq!(
+            w.iter().filter(|(s, _, _)| *s == QuerySize::Small).count(),
+            4
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ mod tests {
             payload: vec![("speed".into(), Value::from(54.5))],
         };
         let d = r.to_document();
-        assert_eq!(d.get_path("location.coordinates.0").unwrap().as_f64(), Some(23.7));
+        assert_eq!(
+            d.get_path("location.coordinates.0").unwrap().as_f64(),
+            Some(23.7)
+        );
         assert_eq!(d.get("vehicleId").unwrap().as_str(), Some("veh-00003"));
         assert_eq!(d.get("speed").unwrap().as_f64(), Some(54.5));
         assert!(d.object_id().is_some());

@@ -118,7 +118,10 @@ fn point_of(d: &Document, path: &str) -> Option<GeoPoint> {
         Value::Array(a) => a.as_slice(),
         _ => return None,
     };
-    Some(GeoPoint::new(coords.first()?.as_f64()?, coords.get(1)?.as_f64()?))
+    Some(GeoPoint::new(
+        coords.first()?.as_f64()?,
+        coords.get(1)?.as_f64()?,
+    ))
 }
 
 #[cfg(test)]
@@ -177,9 +180,12 @@ mod tests {
         assert_eq!(trips[0].len(), 2);
         assert_eq!(trips[1].len(), 2);
         // Degenerate cases.
-        assert!(Trajectory { vehicle: "x".into(), fixes: vec![] }
-            .split_by_gap(1.0)
-            .is_empty());
+        assert!(Trajectory {
+            vehicle: "x".into(),
+            fixes: vec![]
+        }
+        .split_by_gap(1.0)
+        .is_empty());
     }
 
     #[test]

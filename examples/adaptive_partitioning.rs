@@ -21,7 +21,8 @@ fn build_store(records: &[Record]) -> StStore {
         max_chunk_bytes: 128 * 1024,
         ..Default::default()
     });
-    s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+    s.bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
     s
 }
 
@@ -83,7 +84,10 @@ fn main() {
         DateTime::parse_iso("2018-08-01T00:00:00Z").unwrap(),
         DateTime::parse_iso("2018-09-01T00:00:00Z").unwrap(),
     );
-    println!("polygonal Attica probe: {} traces in August", region_docs.len());
+    println!(
+        "polygonal Attica probe: {} traces in August",
+        region_docs.len()
+    );
 
     let spec = GroupBy::by(
         "roadType",

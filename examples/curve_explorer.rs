@@ -26,7 +26,10 @@ fn main() {
     let unit = GeoRect::new(0.0, 0.0, 1.0, 1.0);
     let rect = GeoRect::new(0.30, 0.55, 0.70, 0.80);
     println!("\nquery rectangle {rect:?} on a 64×64 grid:");
-    for (kind, name) in [(CurveKind::Hilbert, "hilbert"), (CurveKind::ZOrder, "zorder")] {
+    for (kind, name) in [
+        (CurveKind::Hilbert, "hilbert"),
+        (CurveKind::ZOrder, "zorder"),
+    ] {
         let grid = CurveGrid::new(unit, 6, kind);
         let exact = grid.decompose_rect(&rect, RangeBudget::UNLIMITED);
         let budgeted = grid.decompose_rect(&rect, RangeBudget::new(8));
@@ -52,7 +55,10 @@ fn main() {
         totals.1 += z;
         println!("  window {i}: hilbert {h:>3}  zorder {z:>3}");
     }
-    println!("  total    : hilbert {:>3}  zorder {:>3}", totals.0, totals.1);
+    println!(
+        "  total    : hilbert {:>3}  zorder {:>3}",
+        totals.0, totals.1
+    );
 
     // 4. World vs fitted extents: the hil / hil* precision difference.
     let world = CurveGrid::world(13);

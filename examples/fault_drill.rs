@@ -1,0 +1,87 @@
+//! Fault drill: arm MongoDB-style failpoints against a sharded store
+//! and watch the router's retries and hedged reads keep query results
+//! complete.
+//!
+//! ```sh
+//! cargo run --example fault_drill
+//! ```
+
+use std::time::Duration;
+use sts::cluster::FailPoint;
+use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::document::DateTime;
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::{Record, R_MBR};
+
+fn main() {
+    let records = generate(&FleetConfig {
+        records: 4_000,
+        vehicles: 25,
+        ..Default::default()
+    });
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 6,
+        max_chunk_bytes: 48 * 1024,
+        data_mbr: R_MBR,
+        ..Default::default()
+    });
+    store
+        .bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
+
+    // A query box over central Athens, one day of data.
+    let q = StQuery {
+        rect: sts::geo::GeoRect::new(23.6, 37.9, 23.8, 38.1),
+        t0: DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0),
+        t1: DateTime::from_ymd_hms(2018, 7, 2, 0, 0, 0),
+    };
+
+    let (docs, report) = store.st_query(&q);
+    let healthy = docs.len();
+    println!(
+        "healthy cluster : {healthy} docs from {} shards (partial: {})",
+        report.cluster.nodes(),
+        report.cluster.partial
+    );
+
+    // Drill 1: a shard whose primary never answers in time.
+    store.arm_failpoint("drill", FailPoint::latency(2, Duration::from_secs(3600)));
+    let (docs, report) = store.st_query(&q);
+    println!(
+        "slow shard 2    : {} docs, timeouts {}, hedges {}, served-by-replica shards {:?}",
+        docs.len(),
+        report.cluster.total_timeouts(),
+        report.cluster.total_hedges(),
+        report.cluster.hedge_served_shards()
+    );
+    assert_eq!(docs.len(), healthy, "hedged read must hide the slow shard");
+    store.disarm_all_failpoints();
+
+    // Drill 2: a flaky primary that throws transient errors.
+    store.arm_failpoint("drill", FailPoint::transient(2));
+    let (docs, report) = store.st_query(&q);
+    println!(
+        "flaky shard 2   : {} docs, retries {}, hedges {}",
+        docs.len(),
+        report.cluster.total_retries(),
+        report.cluster.total_hedges()
+    );
+    assert_eq!(docs.len(), healthy);
+    store.disarm_all_failpoints();
+
+    // Drill 3: primary AND replica down — the router reports the loss
+    // instead of hiding it.
+    store.arm_failpoint("drill", FailPoint::hard_failure(2).on_replica_too());
+    let (docs, report) = store.st_query(&q);
+    println!(
+        "shard 2 gone    : {} docs, partial {}, failed shards {:?}",
+        docs.len(),
+        report.cluster.partial,
+        report.cluster.failed_shards()
+    );
+    match store.try_st_query(&q) {
+        Err(e) => println!("try_st_query    : Err({e})"),
+        Ok(_) => println!("try_st_query    : Ok (query missed the dead shard)"),
+    }
+}

@@ -20,7 +20,10 @@ fn main() {
         vehicles: 200,
         ..Default::default()
     });
-    println!("fleet feed: {} GPS records from 200 vehicles\n", records.len());
+    println!(
+        "fleet feed: {} GPS records from 200 vehicles\n",
+        records.len()
+    );
 
     // The analyst's session: drill-down from a month over Attica to one
     // rush hour in the city centre.

@@ -43,11 +43,19 @@ fn main() {
         let (docs_after, after) = store.st_query(&probe);
         let spread_after = store.cluster().docs_per_shard();
 
-        assert_eq!(docs.len(), docs_after.len(), "zones must not change results");
-        println!("== approach {} (zones on `{}`) ==", approach, match approach {
-            Approach::BslST | Approach::BslTS => "date",
-            _ => "hilbertIndex",
-        });
+        assert_eq!(
+            docs.len(),
+            docs_after.len(),
+            "zones must not change results"
+        );
+        println!(
+            "== approach {} (zones on `{}`) ==",
+            approach,
+            match approach {
+                Approach::BslST | Approach::BslTS => "date",
+                _ => "hilbertIndex",
+            }
+        );
         println!("  docs/shard before: {spread_before:?}");
         println!("  docs/shard after:  {spread_after:?}");
         println!(

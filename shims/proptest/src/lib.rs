@@ -1,0 +1,768 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot fetch crates.io, so this crate
+//! re-implements the subset of proptest's API the workspace uses:
+//! `proptest!`/`prop_assert*!`/`prop_oneof!`, `Strategy` with
+//! `prop_map`/`prop_filter`/`prop_recursive`/`boxed`, `any::<T>()`,
+//! numeric `ANY` constants (plus `f64` class strategies combinable with
+//! `|`), `collection::vec`, `option::of`, `Just`, tuple strategies, and
+//! regex-lite string strategies (`"[a-z]{1,8}"`).
+//!
+//! Differences from the real crate, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case panics with the case number; the
+//!   run is deterministic, so re-running reproduces it exactly.
+//! * **Deterministic seeding.** Each test function's RNG is seeded from
+//!   a hash of the function name, so failures reproduce across runs and
+//!   machines (the repo's tests must be wall-clock- and entropy-free).
+
+use rand::prelude::*;
+
+/// Per-test-run configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one property function, seeded from its name.
+#[doc(hidden)]
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generation strategy: how to produce one random value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (rejection sampling).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Build recursive structures: `f` maps a strategy for the inner
+    /// level to a strategy for the outer one; nesting is bounded by
+    /// `levels` (the real crate's stochastic depth control simplifies
+    /// to explicit unrolling here).
+    fn prop_recursive<S, F>(
+        self,
+        levels: u32,
+        _size: u32,
+        _items_per_collection: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..levels {
+            strat = Union::weighted(vec![(1, strat.clone()), (2, f(strat).boxed())]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase (and make cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut StdRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.reason
+        );
+    }
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// Equal-weight union.
+    pub fn even(arms: Vec<BoxedStrategy<V>>) -> Self {
+        Union {
+            arms: arms.into_iter().map(|s| (1, s)).collect(),
+        }
+    }
+
+    /// Weighted union.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "union of zero strategies");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights covered the draw")
+    }
+}
+
+// ---- ranges -------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- arbitrary ----------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Random bit patterns: covers normals, subnormals, infinities
+        // and NaNs, like the real crate's full f64 domain.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> [T; N] {
+        core::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// ---- numeric ANY / float classes ----------------------------------------
+
+/// `proptest::num::<int>::ANY`-style constants.
+pub struct NumAny<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for NumAny<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A union of IEEE-754 value classes, combinable with `|`.
+#[derive(Clone, Copy, Debug)]
+pub struct FloatClass {
+    mask: u32,
+}
+
+const CLASS_NORMAL: u32 = 1;
+const CLASS_ZERO: u32 = 2;
+const CLASS_SUBNORMAL: u32 = 4;
+const CLASS_INFINITE: u32 = 8;
+
+impl core::ops::BitOr for FloatClass {
+    type Output = FloatClass;
+
+    fn bitor(self, rhs: FloatClass) -> FloatClass {
+        FloatClass {
+            mask: self.mask | rhs.mask,
+        }
+    }
+}
+
+impl Strategy for FloatClass {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        let classes: Vec<u32> = [CLASS_NORMAL, CLASS_ZERO, CLASS_SUBNORMAL, CLASS_INFINITE]
+            .into_iter()
+            .filter(|c| self.mask & c != 0)
+            .collect();
+        assert!(!classes.is_empty(), "empty float class mask");
+        let class = classes[rng.gen_range(0..classes.len())];
+        let sign = rng.next_u64() << 63;
+        let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+        match class {
+            CLASS_NORMAL => {
+                let exp = rng.gen_range(1u64..2047) << 52;
+                f64::from_bits(sign | exp | mantissa)
+            }
+            CLASS_ZERO => f64::from_bits(sign),
+            CLASS_SUBNORMAL => f64::from_bits(sign | mantissa.max(1)),
+            _ => f64::from_bits(sign | (2047u64 << 52)),
+        }
+    }
+}
+
+/// Numeric strategies, mirroring `proptest::num`.
+pub mod num {
+    macro_rules! int_mod {
+        ($($m:ident),+ $(,)?) => {$(
+            pub mod $m {
+                /// Any value of this integer type.
+                pub const ANY: crate::NumAny<core::primitive::$m> =
+                    crate::NumAny(core::marker::PhantomData);
+            }
+        )+};
+    }
+
+    int_mod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub mod f64 {
+        use crate::FloatClass;
+
+        /// Normal (non-zero, non-subnormal, finite) doubles.
+        pub const NORMAL: FloatClass = FloatClass {
+            mask: super::super::CLASS_NORMAL,
+        };
+        /// Positive and negative zero.
+        pub const ZERO: FloatClass = FloatClass {
+            mask: super::super::CLASS_ZERO,
+        };
+        /// Subnormal doubles.
+        pub const SUBNORMAL: FloatClass = FloatClass {
+            mask: super::super::CLASS_SUBNORMAL,
+        };
+        /// The two infinities.
+        pub const INFINITE: FloatClass = FloatClass {
+            mask: super::super::CLASS_INFINITE,
+        };
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    /// Either boolean.
+    pub const ANY: crate::NumAny<core::primitive::bool> = crate::NumAny(core::marker::PhantomData);
+}
+
+// ---- tuples -------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $v:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+}
+
+// ---- collections / option -----------------------------------------------
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` whose length is drawn from `sizes` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.sizes.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers, mirroring `proptest::sample`.
+pub mod sample {
+    use super::*;
+
+    /// An index into a collection whose size is only known at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Project onto a concrete collection length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Option strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::*;
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---- regex-lite string strategies ---------------------------------------
+
+/// One pattern element: what characters it may produce.
+enum Piece {
+    Lit(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+impl Piece {
+    fn generate(&self, rng: &mut StdRng) -> char {
+        match self {
+            Piece::Lit(c) => *c,
+            // Printable ASCII keeps generated keys well-behaved in
+            // ordering tests while still exercising the encoders.
+            Piece::AnyChar => char::from(rng.gen_range(0x20u8..0x7F)),
+            Piece::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick).expect("ascii range");
+                    }
+                    pick -= span;
+                }
+                unreachable!("ranges covered the draw")
+            }
+        }
+    }
+}
+
+/// Parse the regex-lite subset: literals, `.`, `[...]` classes with
+/// ranges, and `{n}`/`{n,m}`/`?`/`*`/`+` quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<(Piece, u32, u32)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '.' => {
+                i += 1;
+                Piece::AnyChar
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("escape at end of pattern");
+                i += 1;
+                Piece::Lit(c)
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class: {pattern}");
+                i += 1; // consume ']'
+                Piece::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Piece::Lit(c)
+            }
+        };
+        let (lo, hi) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                i += 1;
+                let mut lo = 0u32;
+                while chars[i].is_ascii_digit() {
+                    lo = lo * 10 + chars[i].to_digit(10).expect("digit");
+                    i += 1;
+                }
+                let hi = if chars[i] == ',' {
+                    i += 1;
+                    let mut hi = 0u32;
+                    while chars[i].is_ascii_digit() {
+                        hi = hi * 10 + chars[i].to_digit(10).expect("digit");
+                        i += 1;
+                    }
+                    hi
+                } else {
+                    lo
+                };
+                assert_eq!(chars[i], '}', "malformed quantifier: {pattern}");
+                i += 1;
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        out.push((piece, lo, hi));
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut s = String::new();
+        for (piece, lo, hi) in parse_pattern(self) {
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                s.push(piece.generate(rng));
+            }
+        }
+        s
+    }
+}
+
+// ---- macros -------------------------------------------------------------
+
+/// Declares deterministic property tests (shrink-free stand-in for
+/// proptest's macro of the same name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for _ in 0..__cfg.cases {
+                $( let $pat = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under proptest's name (no shrinking to drive, so the
+/// failing case simply panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Equal-weight union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::even(vec![ $( $crate::Strategy::boxed($s) ),+ ])
+    };
+}
+
+/// Everything tests import via `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_rng("string_patterns_match_shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-d]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            let t = Strategy::generate(&"[a-zA-Z][a-zA-Z0-9_]{0,11}", &mut rng);
+            assert!(!t.is_empty() && t.len() <= 12);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+            let dot = Strategy::generate(&".{0,12}", &mut rng);
+            assert!(dot.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn float_classes_generate_their_class() {
+        let mut rng = crate::test_rng("float_classes");
+        let normal_or_zero = crate::num::f64::NORMAL | crate::num::f64::ZERO;
+        for _ in 0..500 {
+            let v = Strategy::generate(&normal_or_zero, &mut rng);
+            assert!(v == 0.0 || v.is_normal(), "{v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_and_loops(x in 0u64..32, s in "[a-c]{2}", o in crate::option::of(1i32..5)) {
+            prop_assert!(x < 32);
+            prop_assert_eq!(s.len(), 2);
+            if let Some(v) = o {
+                prop_assert!((1..5).contains(&v));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), 10i64..20, any::<bool>().prop_map(i64::from)]) {
+            prop_assert!(v == 0 || v == 1 || (10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline stand-in for `rand_distr`: just the `Normal` distribution
+//! (the only one the workspace samples), via the Box–Muller transform.
+
+use rand::{Rng, RngCore};
+
+pub use rand::Distribution;
+
+/// Parameter error from `Normal::new`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms per draw keeps the stream a pure
+        // function of the rng state (no cached second sample).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn mean_and_spread_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern the workspace uses —
+//! `slice.par_iter().map(f).collect::<C>()` — with real parallelism:
+//! the items are split into contiguous chunks, one scoped OS thread per
+//! chunk (bounded by available parallelism), and results are gathered
+//! back **in input order**, matching rayon's indexed collect semantics.
+//! There is no work stealing; the fan-outs here are a handful of
+//! equally-sized shard tasks, where static chunking is just as good.
+
+use std::num::NonZeroUsize;
+
+/// `.par_iter()` entry point for shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'a;
+
+    /// A parallel iterator borrowing `self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped stage of a parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map on scoped threads and gather results in input
+    /// order into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Number of worker threads to use for `n` items.
+fn workers_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Apply `f` to every item on a small pool of scoped threads, returning
+/// the results in input order.
+fn run_ordered<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = workers_for(n);
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = &mut out[..];
+    std::thread::scope(|scope| {
+        // Hand each worker a disjoint window of the output buffer.
+        let mut rest = slots;
+        let mut start = 0;
+        let mut handles = Vec::with_capacity(workers);
+        while start < n {
+            let take = chunk.min(n - start);
+            let (window, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = start;
+            handles.push(scope.spawn(move || {
+                for (i, slot) in window.iter_mut().enumerate() {
+                    *slot = Some(f(&items[base + i]));
+                }
+            }));
+            start += take;
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
+/// Everything the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

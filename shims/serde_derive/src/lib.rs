@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for
+//! plain named-field structs, implemented directly on `proc_macro`
+//! token trees (no `syn`/`quote` available offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` (a `to_json` rendering) for a
+/// non-generic struct with named fields — the only shape the workspace
+/// derives on.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including expanded doc comments) and
+    // visibility, then expect `struct <Name> { fields }`.
+    let mut name = None;
+    let mut fields_group = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                // Everything up to the brace group (there are no
+                // generics in the derives this workspace contains).
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Group(g) = &tt {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("#[derive(Serialize)] supports structs only");
+    let body = fields_group.expect("#[derive(Serialize)] requires named fields");
+
+    let mut entries = String::new();
+    for field in field_names(body) {
+        entries.push_str(&format!(
+            "(\"{field}\".to_string(), serde::Serialize::to_json(&self.{field})),"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> serde::Json {{\n\
+                 serde::Json::Obj(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Field names of a named-field struct body: the identifier right
+/// before each top-level `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut prev: Option<String> = None;
+    let mut expecting_name = true;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ':' && expecting_name => {
+                if let Some(name) = prev.take() {
+                    names.push(name);
+                }
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                expecting_name = true;
+                prev = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute on the next field; its group is skipped by
+                // the Group arm below.
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                // `pub` / `pub(crate)` precede the name; keep only the
+                // latest ident seen before the `:`.
+                if s != "pub" {
+                    prev = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for `serde_json`: serialize the shim `serde`'s
+//! [`Json`] tree to compact or pretty JSON text.
+
+use serde::{Json, Serialize};
+
+/// Serialization error. The shim's data model is always serializable;
+/// the type exists so call sites keep their `Result` handling.
+#[derive(Clone, Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_json(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::UInt(u) => out.push_str(&u.to_string()),
+        Json::Float(x) => {
+            if x.is_finite() {
+                // Keep a decimal point so the value reads back as float.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_json(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(colon);
+                write_json(val, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::Obj(vec![
+            ("name".to_string(), Json::Str("q\"1".to_string())),
+            ("n".to_string(), Json::UInt(3)),
+            (
+                "xs".to_string(),
+                Json::Arr(vec![Json::Int(-1), Json::Float(2.5), Json::Null]),
+            ),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"q\"1","n":3,"xs":[-1,2.5,null]}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"q\\\"1\""));
+    }
+}

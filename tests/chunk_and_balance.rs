@@ -33,8 +33,14 @@ fn chunk_map_covers_key_space_without_gaps() {
         vec![],
     );
     for i in 0..3_000u32 {
-        c.insert(&point_doc(i, 20.0, 35.0, i64::from(i) * 997, i64::from(i % 97)))
-            .unwrap();
+        c.insert(&point_doc(
+            i,
+            20.0,
+            35.0,
+            i64::from(i) * 997,
+            i64::from(i % 97),
+        ))
+        .unwrap();
     }
     let chunks = c.chunk_map().chunks();
     assert!(chunks.len() > 10);
@@ -128,7 +134,8 @@ fn jumbo_chunk_keeps_accepting_writes() {
     );
     // One hot key value — the chunk goes jumbo but must keep working.
     for i in 0..1_000u32 {
-        c.insert(&point_doc(i, 23.7, 37.9, i64::from(i), 42)).unwrap();
+        c.insert(&point_doc(i, 23.7, 37.9, i64::from(i), 42))
+            .unwrap();
     }
     assert!(c.chunk_map().chunks().iter().any(|ch| ch.jumbo));
     assert_eq!(c.doc_count(), 1_000);

@@ -59,7 +59,8 @@ fn hilbert_field_grows_documents_table6_effect() {
             max_chunk_bytes: 256 * 1024,
             ..Default::default()
         });
-        s.bulk_load(records.iter().map(|r| r.to_document())).unwrap();
+        s.bulk_load(records.iter().map(|r| r.to_document()))
+            .unwrap();
         s
     };
     let bsl = build(Approach::BslST);
@@ -69,7 +70,10 @@ fn hilbert_field_grows_documents_table6_effect() {
     // §A.1/Table 6: hil documents integrate the extra hilbertIndex field.
     assert!(h.data_bytes > b.data_bytes);
     let per_doc = (h.data_bytes - b.data_bytes) as f64 / h.documents as f64;
-    assert!((20.0..25.0).contains(&per_doc), "≈22 bytes/doc, got {per_doc}");
+    assert!(
+        (20.0..25.0).contains(&per_doc),
+        "≈22 bytes/doc, got {per_doc}"
+    );
 }
 
 #[test]

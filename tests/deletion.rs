@@ -19,7 +19,8 @@ fn store(approach: Approach) -> (StStore, Vec<Record>) {
         data_mbr: S_MBR,
         ..Default::default()
     });
-    s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+    s.bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
     (s, records)
 }
 

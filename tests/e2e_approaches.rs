@@ -26,6 +26,16 @@ fn start() -> sts::document::DateTime {
 }
 
 fn check_workload(records: &[Record], mbr: sts::geo::GeoRect) {
+    check_workload_with(records, mbr, None);
+}
+
+/// Same equivalence check, optionally with a failpoint armed on every
+/// store — the fault-tolerant router must hide the fault entirely.
+fn check_workload_with(
+    records: &[Record],
+    mbr: sts::geo::GeoRect,
+    fault: Option<sts::cluster::FailPoint>,
+) {
     let truth: Vec<u64> = full_workload(start())
         .iter()
         .map(|(_, _, q)| {
@@ -37,6 +47,9 @@ fn check_workload(records: &[Record], mbr: sts::geo::GeoRect) {
         .collect();
     for approach in Approach::ALL {
         let store = store_for(approach, records, mbr);
+        if let Some(point) = &fault {
+            store.arm_failpoint("e2e-drill", point.clone());
+        }
         for ((size, n, q), expected) in full_workload(start()).iter().zip(&truth) {
             let (docs, report) = store.st_query(q);
             assert_eq!(
@@ -46,6 +59,7 @@ fn check_workload(records: &[Record], mbr: sts::geo::GeoRect) {
                 size.label()
             );
             assert_eq!(report.cluster.n_returned(), *expected);
+            assert!(!report.cluster.partial, "{approach} {}{n}", size.label());
             // Every returned doc truly matches.
             for d in &docs {
                 let p = sts::index::geo_point_of(d, "location").unwrap();
@@ -85,4 +99,30 @@ fn synthetic_dataset_all_approaches_agree() {
         ..Default::default()
     });
     check_workload(&records, S_MBR);
+}
+
+/// The whole equivalence suite again, but with a single-shard fault
+/// armed: a slow primary, a flaky primary, and a dead primary. The
+/// router's retries and hedged reads must make every fault invisible
+/// to the results.
+#[test]
+fn fleet_dataset_agrees_under_single_shard_faults() {
+    use std::time::Duration;
+    use sts::cluster::FailPoint;
+
+    let records = generate(&FleetConfig {
+        records: 4_000,
+        vehicles: 25,
+        extra_fields: 4,
+        ..Default::default()
+    });
+    let shard = 2; // store_for deploys 6 shards
+    let faults = [
+        FailPoint::latency(shard, Duration::from_secs(3600)),
+        FailPoint::transient(shard),
+        FailPoint::hard_failure(shard),
+    ];
+    for fault in faults {
+        check_workload_with(&records, R_MBR, Some(fault));
+    }
 }

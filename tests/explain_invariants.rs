@@ -1,0 +1,145 @@
+//! Invariants of the cluster explain report, checked over the paper's
+//! workload on every approach:
+//!
+//! * per shard, `keys_examined ≥ n_returned` and
+//!   `docs_examined ≥ n_returned` (every match was found and fetched),
+//! * `nodes() ≤ num_shards`, with equality on broadcasts,
+//! * `broadcast` exactly when the filter carries no shard-key
+//!   constraint,
+//! * all retry/hedge/timeout counters stay zero while no failpoint is
+//!   armed.
+
+mod support;
+
+use sts::core::{Approach, StQuery};
+use sts::document::{DateTime, Document};
+use sts::query::Filter;
+use sts::workload::fleet::{generate, FleetConfig};
+use sts::workload::queries::full_workload;
+use sts::workload::{Record, R_MBR};
+use support::oracle::Oracle;
+use support::store_for;
+
+const NUM_SHARDS: usize = 6;
+
+fn corpus() -> Vec<Document> {
+    generate(&FleetConfig {
+        records: 3_000,
+        vehicles: 20,
+        extra_fields: 4,
+        ..Default::default()
+    })
+    .iter()
+    .map(Record::to_document)
+    .collect()
+}
+
+fn workload() -> Vec<StQuery> {
+    full_workload(DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0))
+        .into_iter()
+        .map(|(_, _, q)| q)
+        .collect()
+}
+
+#[test]
+fn per_shard_examination_bounds_hold() {
+    let docs = corpus();
+    for approach in Approach::ALL {
+        let store = store_for(approach, &docs, R_MBR, NUM_SHARDS);
+        for q in workload() {
+            let (_, report) = store.st_query(&q);
+            for s in &report.cluster.per_shard {
+                assert!(
+                    s.stats.keys_examined >= s.stats.n_returned,
+                    "{approach} shard {}: {} keys < {} returned",
+                    s.shard,
+                    s.stats.keys_examined,
+                    s.stats.n_returned
+                );
+                assert!(
+                    s.stats.docs_examined >= s.stats.n_returned,
+                    "{approach} shard {}: {} docs < {} returned",
+                    s.shard,
+                    s.stats.docs_examined,
+                    s.stats.n_returned
+                );
+                assert!(s.stats.completed, "{approach} shard {}", s.shard);
+            }
+        }
+    }
+}
+
+#[test]
+fn nodes_bounded_by_shard_count() {
+    let docs = corpus();
+    let oracle = Oracle::new(docs.clone());
+    for approach in Approach::ALL {
+        let store = store_for(approach, &docs, R_MBR, NUM_SHARDS);
+        for q in workload() {
+            let (res, report) = store.st_query(&q);
+            assert!(report.cluster.nodes() <= NUM_SHARDS, "{approach}");
+            if report.cluster.broadcast {
+                assert_eq!(report.cluster.nodes(), NUM_SHARDS, "{approach}");
+            }
+            // Shard ids are valid and unique.
+            let mut seen = std::collections::BTreeSet::new();
+            for s in &report.cluster.per_shard {
+                assert!(s.shard < NUM_SHARDS);
+                assert!(seen.insert(s.shard), "duplicate shard {}", s.shard);
+            }
+            // The per-shard tallies sum to the gathered result.
+            assert_eq!(report.cluster.n_returned(), res.len() as u64);
+            assert_eq!(report.cluster.n_returned(), oracle.count(&q));
+        }
+    }
+}
+
+#[test]
+fn broadcast_iff_no_shard_key_constraint() {
+    let docs = corpus();
+    for approach in Approach::ALL {
+        let store = store_for(approach, &docs, R_MBR, NUM_SHARDS);
+        // The paper's queries always constrain the shard key (date for
+        // the baselines, hilbertIndex + date for the Hilbert methods).
+        for q in workload() {
+            let (_, report) = store.st_query(&q);
+            assert!(
+                !report.cluster.broadcast,
+                "{approach}: shard-key-constrained query must target, not broadcast"
+            );
+        }
+        // A filter with no shard-key constraint must broadcast to all
+        // shards.
+        let off_key = Filter::gte("vehicleId", "veh-00000");
+        let (_, report) = store.cluster().query(&off_key);
+        assert!(report.broadcast, "{approach}");
+        assert_eq!(report.nodes(), NUM_SHARDS, "{approach}");
+    }
+}
+
+#[test]
+fn recovery_counters_zero_without_failpoints() {
+    let docs = corpus();
+    for approach in Approach::ALL {
+        let store = store_for(approach, &docs, R_MBR, NUM_SHARDS);
+        assert!(!store.cluster().fault_injector().is_active());
+        for q in workload() {
+            let (_, report) = store.st_query(&q);
+            let c = &report.cluster;
+            assert!(c.fault_free(), "{approach}");
+            assert!(!c.partial);
+            assert_eq!(c.total_retries(), 0);
+            assert_eq!(c.total_hedges(), 0);
+            assert_eq!(c.total_timeouts(), 0);
+            assert!(c.timed_out_shards().is_empty());
+            assert!(c.failed_shards().is_empty());
+            assert!(c.hedge_served_shards().is_empty());
+            assert_eq!(c.max_virtual_delay(), std::time::Duration::ZERO);
+            for s in &c.per_shard {
+                assert_eq!(s.recovery.attempts, 1, "{approach} shard {}", s.shard);
+                assert!(!s.recovery.served_by_replica);
+                assert!(!s.recovery.gave_up);
+            }
+        }
+    }
+}

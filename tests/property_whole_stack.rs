@@ -3,12 +3,12 @@
 //! every approach.
 
 use proptest::prelude::*;
+use std::sync::OnceLock;
 use sts::core::{Approach, StQuery, StStore, StoreConfig};
 use sts::document::DateTime;
 use sts::geo::GeoRect;
 use sts::workload::synth::{generate, SynthConfig};
 use sts::workload::{Record, S_MBR};
-use std::sync::OnceLock;
 
 /// One shared store per approach (building stores is the expensive part;
 /// the properties vary the queries).
@@ -29,7 +29,8 @@ fn stores() -> &'static Vec<(Approach, StStore, Vec<Record>)> {
                     data_mbr: S_MBR,
                     ..Default::default()
                 });
-                s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+                s.bulk_load(records.iter().map(Record::to_document))
+                    .unwrap();
                 (a, s, records.clone())
             })
             .collect()

@@ -16,7 +16,8 @@ fn store(approach: Approach, records: &[Record]) -> StStore {
         data_mbr: S_MBR,
         ..Default::default()
     });
-    s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+    s.bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
     s
 }
 

@@ -1,0 +1,70 @@
+//! A naive full-scan reference engine — the differential-testing
+//! oracle.
+//!
+//! It answers spatio-temporal queries by brute force over a plain
+//! `Vec<Document>`: no indexes, no sharding, no routing, no recovery.
+//! Anything the real engines (any approach, any fault profile) return
+//! must equal what this oracle returns, as a set of `_id`s.
+
+use std::collections::BTreeSet;
+use sts::core::StQuery;
+use sts::document::{Document, ObjectId};
+use sts::index::geo_point_of;
+
+/// The reference engine: the ground-truth corpus in load order.
+pub struct Oracle {
+    docs: Vec<Document>,
+}
+
+impl Oracle {
+    /// Build over the exact documents the stores under test loaded
+    /// (same `ObjectId`s, so result sets are comparable).
+    pub fn new(docs: Vec<Document>) -> Self {
+        Oracle { docs }
+    }
+
+    /// The corpus.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Full-scan answer to a spatio-temporal range query.
+    pub fn query(&self, q: &StQuery) -> Vec<&Document> {
+        self.docs
+            .iter()
+            .filter(|d| {
+                let p = geo_point_of(d, "location").expect("corpus docs carry a location");
+                let t = d
+                    .get("date")
+                    .and_then(|v| v.as_datetime())
+                    .expect("corpus docs carry a date");
+                q.matches(p.lon, p.lat, t)
+            })
+            .collect()
+    }
+
+    /// The matching `_id` set — the canonical comparison form.
+    pub fn id_set(&self, q: &StQuery) -> BTreeSet<ObjectId> {
+        self.query(q)
+            .into_iter()
+            .map(|d| d.object_id().expect("corpus docs carry an _id"))
+            .collect()
+    }
+
+    /// Matching-document count.
+    pub fn count(&self, q: &StQuery) -> u64 {
+        self.query(q).len() as u64
+    }
+}
+
+/// The `_id` set of an engine's result, for comparison with
+/// [`Oracle::id_set`]. Panics if any result document lacks an `_id`
+/// or the engine returned duplicates (both are engine bugs).
+pub fn result_id_set(docs: &[Document]) -> BTreeSet<ObjectId> {
+    let ids: BTreeSet<ObjectId> = docs
+        .iter()
+        .map(|d| d.object_id().expect("result docs carry an _id"))
+        .collect();
+    assert_eq!(ids.len(), docs.len(), "engine returned duplicate documents");
+    ids
+}

@@ -20,7 +20,8 @@ fn store() -> (StStore, Vec<Record>) {
         max_chunk_bytes: 64 * 1024,
         ..Default::default()
     });
-    s.bulk_load(records.iter().map(Record::to_document)).unwrap();
+    s.bulk_load(records.iter().map(Record::to_document))
+        .unwrap();
     (s, records)
 }
 
@@ -81,8 +82,7 @@ fn limit_zero_and_oversized() {
     let (none, _) = s.st_query_with_options(&q, &FindOptions::none().with_limit(0));
     assert!(none.is_empty());
     let (all, _) = s.st_query(&q);
-    let (capped, _) =
-        s.st_query_with_options(&q, &FindOptions::none().with_limit(10_000_000));
+    let (capped, _) = s.st_query_with_options(&q, &FindOptions::none().with_limit(10_000_000));
     assert_eq!(all.len(), capped.len());
 }
 
@@ -91,8 +91,10 @@ fn missing_sort_field_sorts_first() {
     // S-style records carry no speed field; sort by it anyway.
     let (s, _) = store();
     let q = probe();
-    let (docs, _) = s.st_query_with_options(&q, &FindOptions::sort_asc("noSuchField").with_limit(5));
+    let (docs, _) =
+        s.st_query_with_options(&q, &FindOptions::sort_asc("noSuchField").with_limit(5));
     assert_eq!(docs.len(), 5);
-    assert!(docs.iter().all(|d| d.get("noSuchField").is_none()
-        || d.get("noSuchField") == Some(&Value::Null)));
+    assert!(docs
+        .iter()
+        .all(|d| d.get("noSuchField").is_none() || d.get("noSuchField") == Some(&Value::Null)));
 }
