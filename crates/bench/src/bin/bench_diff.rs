@@ -1,0 +1,182 @@
+//! Compare two `BENCH_*.json` perfsmoke reports and print a
+//! human-readable delta table; with `--check`, exit non-zero when the
+//! newer report regresses past tolerance (the CI perf gate).
+//!
+//! ```text
+//! bench-diff results/BENCH_baseline.json results/BENCH_ci.json \
+//!     --check --max-latency-pct 35 --max-counter-pct 5
+//! ```
+//!
+//! The latency gate applies to p50 only — the median is the one
+//! percentile robust enough to gate at smoke scale, where mean and the
+//! tail percentiles can be dragged tens of percent by one or two
+//! scheduler-noise outliers (they are printed as informational).
+//! Counter gates apply to keys/docs examined and mean nodes — those
+//! are deterministic at a fixed seed, so the tolerance is tight.
+//! `results` must match exactly: a drift there is a correctness bug,
+//! not a perf regression. Improvements never fail the gate.
+
+use serde::Json;
+
+const LATENCY_METRICS: [&str; 1] = ["p50_us"];
+const INFO_METRICS: [&str; 3] = ["mean_us", "p95_us", "p99_us"];
+const COUNTER_METRICS: [&str; 5] = [
+    "max_keys_examined",
+    "max_docs_examined",
+    "total_keys_examined",
+    "total_docs_examined",
+    "mean_nodes",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut check = false;
+    let mut max_latency_pct = 35.0f64;
+    let mut max_counter_pct = 5.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Option<String> {
+            if a == name {
+                it.next().cloned()
+            } else {
+                a.strip_prefix(&format!("{name}=")).map(str::to_string)
+            }
+        };
+        if a == "--check" {
+            check = true;
+        } else if let Some(v) = grab("--max-latency-pct") {
+            max_latency_pct = v.parse().expect("--max-latency-pct takes a number");
+        } else if let Some(v) = grab("--max-counter-pct") {
+            max_counter_pct = v.parse().expect("--max-counter-pct takes a number");
+        } else if a.starts_with("--") {
+            eprintln!("bench-diff: unknown flag {a}");
+            std::process::exit(2);
+        } else {
+            files.push(a.clone());
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench-diff <baseline.json> <current.json> [--check] [--max-latency-pct N] [--max-counter-pct N]");
+        std::process::exit(2);
+    }
+    let baseline = load(&files[0]);
+    let current = load(&files[1]);
+    for (label, report) in [("baseline", &baseline), ("current", &current)] {
+        let schema = report.get("schema").and_then(Json::as_str).unwrap_or("?");
+        if schema != "sts-bench/1" {
+            eprintln!(
+                "bench-diff: {label} {} has schema {schema:?}, expected \"sts-bench/1\"",
+                files[0]
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut failures = 0usize;
+    println!(
+        "{:<8} {:<22} {:>14} {:>14} {:>9}  verdict",
+        "approach", "metric", "baseline", "current", "delta"
+    );
+    for cur in rows(&current) {
+        let name = cur.get("approach").and_then(Json::as_str).unwrap_or("?");
+        let Some(base) = rows(&baseline)
+            .into_iter()
+            .find(|r| r.get("approach").and_then(Json::as_str) == Some(name))
+        else {
+            println!("{name:<8} (not in baseline — skipped)");
+            continue;
+        };
+        for m in LATENCY_METRICS {
+            failures += compare(name, m, base, cur, Some(max_latency_pct));
+        }
+        for m in INFO_METRICS {
+            failures += compare(name, m, base, cur, None);
+        }
+        for m in COUNTER_METRICS {
+            failures += compare(name, m, base, cur, Some(max_counter_pct));
+        }
+        // Exact-match correctness anchor.
+        let (b, c) = (
+            base.get("results").and_then(Json::as_u64),
+            cur.get("results").and_then(Json::as_u64),
+        );
+        let ok = b == c && b.is_some();
+        println!(
+            "{:<8} {:<22} {:>14} {:>14} {:>9}  {}",
+            name,
+            "results",
+            b.map_or("?".into(), |v| v.to_string()),
+            c.map_or("?".into(), |v| v.to_string()),
+            "-",
+            if ok {
+                "ok (exact)"
+            } else {
+                "FAIL: result drift"
+            }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        println!("\n{failures} metric(s) regressed past tolerance (latency {max_latency_pct}%, counters {max_counter_pct}%).");
+        if check {
+            std::process::exit(1);
+        }
+        println!("(informational run: pass --check to gate)");
+    } else {
+        println!("\nno regressions past tolerance (latency {max_latency_pct}%, counters {max_counter_pct}%).");
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench-diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn rows(report: &Json) -> Vec<&Json> {
+    report
+        .get("approaches")
+        .and_then(Json::as_array)
+        .map(|a| a.iter().collect())
+        .unwrap_or_default()
+}
+
+/// Print one metric row; return 1 if it regressed past `gate_pct`.
+fn compare(approach: &str, metric: &str, base: &Json, cur: &Json, gate_pct: Option<f64>) -> usize {
+    let (Some(b), Some(c)) = (
+        base.get(metric).and_then(Json::as_f64),
+        cur.get(metric).and_then(Json::as_f64),
+    ) else {
+        println!("{approach:<8} {metric:<22} (missing — skipped)");
+        return 0;
+    };
+    let delta_pct = if b.abs() < f64::EPSILON {
+        if c.abs() < f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (c - b) / b * 100.0
+    };
+    let (verdict, failed) = match gate_pct {
+        None => ("info".to_string(), false),
+        Some(tol) if delta_pct > tol => (format!("FAIL: +{delta_pct:.1}% > {tol}%"), true),
+        Some(_) if delta_pct < 0.0 => ("ok (improved)".to_string(), false),
+        Some(_) => ("ok".to_string(), false),
+    };
+    println!(
+        "{:<8} {:<22} {:>14.1} {:>14.1} {:>+8.1}%  {}",
+        approach, metric, b, c, delta_pct, verdict
+    );
+    usize::from(failed)
+}

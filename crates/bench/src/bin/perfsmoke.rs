@@ -1,0 +1,230 @@
+//! Machine-readable perf smoke test: a small fixed-seed workload run
+//! across all four paper approaches, emitting schema-versioned JSON
+//! that CI diffs against a committed baseline (`bench-diff`).
+//!
+//! Per approach we report latency percentiles (p50/p95/p99 from an
+//! HDR-style histogram of per-query cluster latency), throughput over
+//! the query window alone (build time is measured separately and never
+//! pollutes it), and the paper's work counters (keys/docs examined,
+//! nodes touched).
+//!
+//! ```text
+//! cargo run -p sts-bench --release --bin perfsmoke -- \
+//!     --scale 0.002 --queries 40 --json results/BENCH_baseline.json
+//! ```
+//!
+//! Defaults write `results/BENCH_<date>.json`.
+
+use serde::Serialize;
+use std::time::Instant;
+use sts_bench::{
+    build_store, dataset_records, save_json_to, small_query_batch, utc_date_string, Dataset,
+    HarnessConfig,
+};
+use sts_core::Approach;
+use sts_obs::Histogram;
+
+/// Bump when the report layout changes incompatibly.
+const SCHEMA: &str = "sts-bench/1";
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: String,
+    generated_at: String,
+    scale: f64,
+    shards: usize,
+    seed: u64,
+    queries: usize,
+    records: u64,
+    approaches: Vec<ApproachRow>,
+}
+
+#[derive(Serialize)]
+struct ApproachRow {
+    approach: String,
+    /// Latency percentiles of per-query cluster latency (slowest shard
+    /// bounds each query), in microseconds.
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    max_us: f64,
+    /// Queries per second over the measured query window.
+    throughput_qps: f64,
+    /// Store construction (bulk load), kept apart from the query window.
+    build_ms: f64,
+    /// §5.1 work counters, aggregated over the whole batch.
+    max_keys_examined: u64,
+    max_docs_examined: u64,
+    total_keys_examined: u64,
+    total_docs_examined: u64,
+    mean_nodes: f64,
+    /// Total matching documents across the batch (a correctness anchor:
+    /// this must never drift between runs at the same seed).
+    results: u64,
+    /// Hilbert decomposition totals (zero for the baselines).
+    covering_us_total: f64,
+    covering_ranges_total: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = HarnessConfig::from_args(&args);
+    let mut n_queries = 120usize;
+    let mut json_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Option<String> {
+            if a == name {
+                it.next().cloned()
+            } else {
+                a.strip_prefix(&format!("{name}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = grab("--queries") {
+            n_queries = v.parse().expect("--queries takes an integer");
+        } else if let Some(v) = grab("--json") {
+            json_path = Some(v);
+        } else {
+            eprintln!("perfsmoke: unknown argument {a}");
+            std::process::exit(2);
+        }
+    }
+    let path = json_path.unwrap_or_else(|| format!("results/BENCH_{}.json", utc_date_string()));
+    eprintln!(
+        "# perfsmoke: scale={} shards={} seed={:#x} queries={n_queries} -> {path}",
+        cfg.scale, cfg.num_shards, cfg.seed
+    );
+
+    let records = dataset_records(Dataset::R, &cfg, 1);
+    let queries = small_query_batch(n_queries, cfg.seed);
+    let mut approaches = Vec::new();
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10} {:>8}",
+        "approach",
+        "p50(us)",
+        "p95(us)",
+        "p99(us)",
+        "mean(us)",
+        "qps",
+        "maxKeys",
+        "maxDocs",
+        "results"
+    );
+    for approach in Approach::ALL {
+        approaches.push(run_approach(approach, &records, &queries, &cfg));
+    }
+
+    let report = BenchReport {
+        schema: SCHEMA.to_string(),
+        generated_at: utc_date_string(),
+        scale: cfg.scale,
+        shards: cfg.num_shards,
+        seed: cfg.seed,
+        queries: n_queries,
+        records: records.len() as u64,
+        approaches,
+    };
+    if let Err(e) = save_json_to(std::path::Path::new(&path), &report) {
+        eprintln!("perfsmoke: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {path}");
+}
+
+fn run_approach(
+    approach: Approach,
+    records: &[sts_workload::Record],
+    queries: &[sts_core::StQuery],
+    cfg: &HarnessConfig,
+) -> ApproachRow {
+    let build_start = Instant::now();
+    let store = build_store(approach, Dataset::R, records, cfg, false);
+    let build_ms = build_start.elapsed().as_secs_f64() * 1_000.0;
+
+    // Warm-up pass over the full batch: pages in every index the
+    // planner may pick and absorbs one-time process costs (thread-pool
+    // spin-up hits whichever approach runs first), so the measured
+    // window sees steady-state behaviour (paper §5.1 discards warm-up
+    // runs the same way).
+    for q in queries {
+        let _ = store.st_query(q);
+    }
+
+    let latency = Histogram::new();
+    let mut max_keys = 0u64;
+    let mut max_docs = 0u64;
+    let mut total_keys = 0u64;
+    let mut total_docs = 0u64;
+    let mut nodes_total = 0usize;
+    let mut results = 0u64;
+    let mut covering_us = 0.0f64;
+    let mut covering_ranges = 0usize;
+    let runs = cfg.measured_runs.max(1);
+    let mut executions = 0usize;
+    let query_start = Instant::now();
+    for q in queries {
+        // Per-query latency is the minimum over `--runs` repetitions —
+        // the noise-robust estimator: scheduler interference only ever
+        // adds time, so the min is the best view of the true cost. Work
+        // counters are deterministic and taken from the last run.
+        let mut best = None;
+        let mut report = None;
+        for _ in 0..runs {
+            let (_, r) = store.st_query(q);
+            let lat = r.cluster_latency();
+            best = Some(best.map_or(lat, |b: std::time::Duration| b.min(lat)));
+            report = Some(r);
+            executions += 1;
+        }
+        let (best, report) = (best.expect("runs >= 1"), report.expect("runs >= 1"));
+        latency.record(best);
+        max_keys = max_keys.max(report.cluster.max_keys_examined());
+        max_docs = max_docs.max(report.cluster.max_docs_examined());
+        total_keys += report.cluster.total_keys_examined();
+        total_docs += report
+            .cluster
+            .per_shard
+            .iter()
+            .map(|s| s.stats.docs_examined)
+            .sum::<u64>();
+        nodes_total += report.cluster.nodes();
+        results += report.cluster.n_returned();
+        covering_us += report.hilbert_time.as_secs_f64() * 1e6;
+        covering_ranges += report.hilbert_ranges;
+    }
+    let query_secs = query_start.elapsed().as_secs_f64();
+    let snap = latency.snapshot();
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let row = ApproachRow {
+        approach: approach.name().to_string(),
+        p50_us: us(snap.p50),
+        p95_us: us(snap.p95),
+        p99_us: us(snap.p99),
+        mean_us: us(snap.mean),
+        max_us: us(snap.max),
+        throughput_qps: executions as f64 / query_secs.max(1e-9),
+        build_ms,
+        max_keys_examined: max_keys,
+        max_docs_examined: max_docs,
+        total_keys_examined: total_keys,
+        total_docs_examined: total_docs,
+        mean_nodes: nodes_total as f64 / queries.len().max(1) as f64,
+        results,
+        covering_us_total: covering_us,
+        covering_ranges_total: covering_ranges,
+    };
+    println!(
+        "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1} {:>10} {:>10} {:>8}",
+        row.approach,
+        row.p50_us,
+        row.p95_us,
+        row.p99_us,
+        row.mean_us,
+        row.throughput_qps,
+        row.max_keys_examined,
+        row.max_docs_examined,
+        row.results
+    );
+    row
+}

@@ -18,10 +18,11 @@
 //! ```
 
 use serde::Serialize;
-use sts_bench::{build_store, dataset_records, dataset_start, save_json, Dataset, HarnessConfig};
-use sts_core::{Approach, StQuery};
-use sts_document::DateTime;
-use sts_geo::GeoRect;
+use std::time::Instant;
+use sts_bench::{
+    build_store, dataset_records, save_json, small_query_batch, Dataset, HarnessConfig,
+};
+use sts_core::Approach;
 
 #[derive(Serialize)]
 struct ThroughputRow {
@@ -32,6 +33,13 @@ struct ThroughputRow {
     total_work: u64,
     max_shard_work: u64,
     parallel_headroom: f64,
+    /// Store construction time (bulk load + zone migration), kept
+    /// strictly apart from the query window below.
+    build_ms: f64,
+    /// Wall time of the query replay alone.
+    query_ms: f64,
+    /// Queries per second over the query window.
+    qps: f64,
 }
 
 fn main() {
@@ -49,17 +57,30 @@ fn main() {
     );
 
     let records = dataset_records(Dataset::R, &cfg, 1);
-    let queries = query_batch(n_queries, cfg.seed);
+    let queries = small_query_batch(n_queries, cfg.seed);
     let mut rows = Vec::new();
     println!(
-        "{:<8} {:<7} {:>11} {:>12} {:>14} {:>10}",
-        "approach", "zones", "mean nodes", "total work", "hottest shard", "headroom"
+        "{:<8} {:<7} {:>11} {:>12} {:>14} {:>10} {:>10} {:>10} {:>9}",
+        "approach",
+        "zones",
+        "mean nodes",
+        "total work",
+        "hottest shard",
+        "headroom",
+        "build(ms)",
+        "query(ms)",
+        "qps"
     );
     for zones in [false, true] {
         for approach in [Approach::BslST, Approach::BslTS, Approach::Hil] {
+            // Build and query windows are timed separately: bulk load +
+            // zone migration must never pollute the throughput numbers.
+            let build_start = Instant::now();
             let store = build_store(approach, Dataset::R, &records, &cfg, zones);
+            let build_ms = build_start.elapsed().as_secs_f64() * 1_000.0;
             let mut per_shard = vec![0u64; cfg.num_shards];
             let mut nodes_total = 0usize;
+            let query_start = Instant::now();
             for q in &queries {
                 let (_, report) = store.st_query(q);
                 nodes_total += report.cluster.nodes();
@@ -67,6 +88,7 @@ fn main() {
                     per_shard[sx.shard] += sx.stats.keys_examined + sx.stats.docs_examined;
                 }
             }
+            let query_secs = query_start.elapsed().as_secs_f64();
             let total: u64 = per_shard.iter().sum();
             let hottest = *per_shard.iter().max().unwrap();
             let row = ThroughputRow {
@@ -77,15 +99,21 @@ fn main() {
                 total_work: total,
                 max_shard_work: hottest,
                 parallel_headroom: total as f64 / hottest.max(1) as f64,
+                build_ms,
+                query_ms: query_secs * 1_000.0,
+                qps: queries.len() as f64 / query_secs.max(1e-9),
             };
             println!(
-                "{:<8} {:<7} {:>11.2} {:>12} {:>14} {:>9.2}x",
+                "{:<8} {:<7} {:>11.2} {:>12} {:>14} {:>9.2}x {:>10.1} {:>10.1} {:>9.1}",
                 row.approach,
                 row.zones,
                 row.mean_nodes,
                 row.total_work,
                 row.max_shard_work,
-                row.parallel_headroom
+                row.parallel_headroom,
+                row.build_ms,
+                row.query_ms,
+                row.qps
             );
             rows.push(row);
         }
@@ -97,39 +125,4 @@ fn main() {
          shards, which is what concurrent throughput scales with.",
         cfg.num_shards
     );
-}
-
-/// City-sized rectangles around the urban hotspots, week-long windows —
-/// a plausible concurrent dispatcher workload.
-fn query_batch(n: usize, seed: u64) -> Vec<StQuery> {
-    let centers = [
-        (23.7275, 37.9838),
-        (22.9446, 40.6401),
-        (21.7346, 38.2466),
-        (25.1442, 35.3387),
-        (22.4191, 39.6390),
-    ];
-    let mut state = seed | 1;
-    let mut next = move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
-    (0..n)
-        .map(|_| {
-            let (clon, clat) = centers[(next() % centers.len() as u64) as usize];
-            let dx = (next() % 1_000) as f64 / 10_000.0 - 0.05;
-            let dy = (next() % 1_000) as f64 / 10_000.0 - 0.05;
-            let w = 0.02 + (next() % 600) as f64 / 10_000.0;
-            let start_day = (next() % 140) as i64;
-            let t0 = dataset_start().plus_millis(start_day * 86_400_000);
-            StQuery {
-                rect: GeoRect::new(clon + dx, clat + dy, clon + dx + w, clat + dy + w),
-                t0,
-                t1: DateTime::from_millis(t0.millis() + 7 * 86_400_000),
-            }
-        })
-        .collect()
 }

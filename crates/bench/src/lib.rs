@@ -13,6 +13,7 @@ use serde::Serialize;
 use std::time::Duration;
 use sts_core::{Approach, StQuery, StStore, StoreConfig};
 use sts_document::DateTime;
+use sts_geo::GeoRect;
 use sts_workload::fleet::{self, FleetConfig};
 use sts_workload::queries::{paper_query, QuerySize};
 use sts_workload::synth::{self, SynthConfig};
@@ -270,6 +271,77 @@ pub fn save_json(name: &str, value: &impl Serialize) {
     }
 }
 
+/// Write JSON to an explicit path, creating parent directories.
+pub fn save_json_to(path: &std::path::Path, value: &impl Serialize) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
+/// Today's civil date as `YYYY-MM-DD` (UTC), for `BENCH_<date>.json`
+/// file names. Uses Howard Hinnant's days-to-civil algorithm — no
+/// calendar crate in the offline toolchain.
+pub fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// City-sized rectangles around the R set's urban hotspots with
+/// week-long windows — a plausible concurrent dispatcher workload.
+/// Deterministic in `seed` (SplitMix64), shared by the `throughput`
+/// and `perfsmoke` binaries.
+pub fn small_query_batch(n: usize, seed: u64) -> Vec<StQuery> {
+    let centers = [
+        (23.7275, 37.9838),
+        (22.9446, 40.6401),
+        (21.7346, 38.2466),
+        (25.1442, 35.3387),
+        (22.4191, 39.6390),
+    ];
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            let (clon, clat) = centers[(next() % centers.len() as u64) as usize];
+            let dx = (next() % 1_000) as f64 / 10_000.0 - 0.05;
+            let dy = (next() % 1_000) as f64 / 10_000.0 - 0.05;
+            let w = 0.02 + (next() % 600) as f64 / 10_000.0;
+            let start_day = (next() % 140) as i64;
+            let t0 = dataset_start().plus_millis(start_day * 86_400_000);
+            StQuery {
+                rect: GeoRect::new(clon + dx, clat + dy, clon + dx + w, clat + dy + w),
+                t0,
+                t1: DateTime::from_millis(t0.millis() + 7 * 86_400_000),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +383,27 @@ mod tests {
         };
         assert_eq!(cfg.s_records(), 2 * cfg.r_records(1));
         assert_eq!(cfg.r_records(4), 4 * cfg.r_records(1));
+    }
+
+    #[test]
+    fn date_string_is_civil() {
+        let d = utc_date_string();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        let year: i32 = d[..4].parse().unwrap();
+        assert!(year >= 2024, "{d}");
+    }
+
+    #[test]
+    fn query_batch_is_deterministic() {
+        let a = small_query_batch(16, 42);
+        let b = small_query_batch(16, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let c = small_query_batch(16, 43);
+        assert_ne!(a, c, "seed changes the batch");
+        assert!(a.iter().all(|q| q.t1 > q.t0));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::shardkey::{ShardKey, ShardStrategy};
 use crate::zones::{zones_from_boundaries, Zone};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use sts_btree::SizeReport;
 use sts_document::{encoded_size, Document, Value};
 use sts_index::{IndexField, IndexSpec};
@@ -436,8 +436,9 @@ impl Cluster {
         /// One gathered row: shard id, its answer (`None` once the
         /// recovery policy gave the shard up), and the recovery record.
         type GatherRow<R> = (usize, Option<(R, ExecutionStats)>, ShardRecovery);
-        let (targets, broadcast) = self.target_shards(filter);
         let start = Instant::now();
+        let (targets, broadcast) = self.target_shards(filter);
+        let routing = start.elapsed();
         let query_id = self.faults.begin_query();
         let policy = self.config.recovery;
         let mut results: Vec<GatherRow<R>> = targets
@@ -477,19 +478,25 @@ impl Cluster {
             broadcast,
             partial,
             wall: start.elapsed(),
+            routing,
+            merge: Duration::ZERO,
         };
+        record_scatter_metrics(&report);
         (payloads, report)
     }
 
     /// Route, scatter, execute in parallel, gather.
     pub fn query(&self, filter: &Filter) -> (Vec<Document>, ClusterQueryReport) {
         let planner = self.config.planner;
-        let (chunks, report) = self.scatter_gather(filter, |sid| {
+        let (chunks, mut report) = self.scatter_gather(filter, |sid| {
             self.shards[sid]
                 .collection()
                 .find_with_planner(&planner, filter)
         });
-        (chunks.into_iter().flatten().collect(), report)
+        let merge_start = Instant::now();
+        let docs = chunks.into_iter().flatten().collect();
+        finish_merge(&mut report, merge_start.elapsed());
+        (docs, report)
     }
 
     /// Like [`Cluster::query`], but an abandoned shard is an error
@@ -511,15 +518,16 @@ impl Cluster {
         options: &sts_query::FindOptions,
     ) -> (Vec<Document>, ClusterQueryReport) {
         let planner = self.config.planner;
-        let (chunks, report) = self.scatter_gather(filter, |sid| {
+        let (chunks, mut report) = self.scatter_gather(filter, |sid| {
             let coll = self.shards[sid].collection();
-            let plan = planner.choose(coll, filter);
-            let (mut docs, stats) = sts_query::execute_plan(coll, filter, &plan, None, true);
+            let (mut docs, stats) = coll.find_with_planner(&planner, filter);
             options.shape(&mut docs);
             (docs, stats)
         });
+        let merge_start = Instant::now();
         let mut docs: Vec<Document> = chunks.into_iter().flatten().collect();
         options.shape(&mut docs);
+        finish_merge(&mut report, merge_start.elapsed());
         (docs, report)
     }
 
@@ -562,14 +570,17 @@ impl Cluster {
         filter: &Filter,
         spec: &sts_query::GroupBy,
     ) -> (Vec<Document>, ClusterQueryReport) {
-        let (partials, report) = self.scatter_gather(filter, |sid| {
+        let (partials, mut report) = self.scatter_gather(filter, |sid| {
             sts_query::aggregate_local(self.shards[sid].collection(), filter, spec)
         });
+        let merge_start = Instant::now();
         let mut merged = sts_query::PartialAggregation::default();
         for partial in partials {
             merged.merge(partial);
         }
-        (merged.finalize(spec), report)
+        let docs = merged.finalize(spec);
+        finish_merge(&mut report, merge_start.elapsed());
+        (docs, report)
     }
 
     /// Like [`Cluster::aggregate`], erroring on partial results.
@@ -614,6 +625,44 @@ impl Cluster {
 
 /// A `[lo, hi)` interval in shard-key byte space (`None` = +∞).
 type KeyInterval = (Vec<u8>, Option<Vec<u8>>);
+
+/// Record router-level observables for one scatter/gather into the
+/// global metrics registry: routing latency, per-query fan-out and the
+/// recovery counters. Virtual recovery delay goes to its own
+/// histogram — it is injected, not measured, time.
+fn record_scatter_metrics(report: &ClusterQueryReport) {
+    let obs = sts_obs::global();
+    obs.counter("router.queries").inc();
+    if report.broadcast {
+        obs.counter("router.broadcasts").inc();
+    }
+    if report.partial {
+        obs.counter("router.partials").inc();
+    }
+    obs.counter("router.shard_executions")
+        .add(report.per_shard.len() as u64);
+    obs.counter("router.retries")
+        .add(u64::from(report.total_retries()));
+    obs.counter("router.hedges")
+        .add(u64::from(report.total_hedges()));
+    obs.counter("router.timeouts")
+        .add(u64::from(report.total_timeouts()));
+    obs.record("router.routing", report.routing);
+    let recovery = report.stage_totals().recovery;
+    if recovery > Duration::ZERO {
+        obs.record("router.recovery_virtual", recovery);
+    }
+}
+
+/// Fold the router-side merge stage into the report: the merge runs
+/// after the scatter wall-clock window closed, so it extends `wall`.
+fn finish_merge(report: &mut ClusterQueryReport, merge: Duration) {
+    report.merge = merge;
+    report.wall += merge;
+    let obs = sts_obs::global();
+    obs.record("router.merge", merge);
+    obs.record("router.wall", report.wall);
+}
 
 /// Turn a partial gather into `QueryError::ShardsUnavailable`.
 fn check_complete(report: ClusterQueryReport) -> Result<ClusterQueryReport, QueryError> {

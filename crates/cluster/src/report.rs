@@ -3,6 +3,7 @@
 
 use crate::retry::ShardRecovery;
 use std::time::Duration;
+use sts_obs::StageBreakdown;
 use sts_query::ExecutionStats;
 
 /// One shard's contribution to a scatter/gather query.
@@ -29,6 +30,27 @@ impl ShardExecution {
             },
         }
     }
+
+    /// Per-stage timing breakdown for this shard. The wall-clock
+    /// stages (planning, index scan, fetch + residual filter)
+    /// partition the shard's measured time exactly; the recovery stage
+    /// carries the *virtual* delay fault injection added (injected
+    /// latency + backoff waits), attributed here and never conflated
+    /// with scan time.
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        StageBreakdown {
+            planning: self.stats.planning,
+            index_scan: self.stats.scan_time(),
+            fetch_filter: self.stats.fetch_time,
+            recovery: self.recovery.virtual_delay(),
+        }
+    }
+
+    /// The shard's total cost: measured wall time plus virtual
+    /// recovery delay. Equals `stage_breakdown().total()` exactly.
+    pub fn total_time(&self) -> Duration {
+        self.stats.total_time() + self.recovery.virtual_delay()
+    }
 }
 
 /// The merged result of routing one query through `mongos`.
@@ -44,6 +66,11 @@ pub struct ClusterQueryReport {
     pub partial: bool,
     /// End-to-end wall time of the scatter/gather, including the merge.
     pub wall: Duration,
+    /// Router-side routing stage: chunk-map targeting time.
+    pub routing: Duration,
+    /// Router-side merge stage: gathering, flattening, shaping and/or
+    /// partial-aggregation merging after the shards answered.
+    pub merge: Duration,
 }
 
 impl ClusterQueryReport {
@@ -156,6 +183,31 @@ impl ClusterQueryReport {
             .max()
             .unwrap_or_default()
     }
+
+    /// The slowest shard's total cost including virtual recovery delay
+    /// (what bounds latency once injected faults are charged).
+    pub fn max_shard_total_time(&self) -> Duration {
+        self.per_shard
+            .iter()
+            .map(ShardExecution::total_time)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Element-wise sum of every shard's stage breakdown — the
+    /// cluster's total work per stage (not a latency: shards run
+    /// concurrently).
+    pub fn stage_totals(&self) -> StageBreakdown {
+        let mut acc = StageBreakdown::default();
+        for s in &self.per_shard {
+            let b = s.stage_breakdown();
+            acc.planning += b.planning;
+            acc.index_scan += b.index_scan;
+            acc.fetch_filter += b.fetch_filter;
+            acc.recovery += b.recovery;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +234,7 @@ mod tests {
             broadcast: false,
             partial: false,
             wall: Duration::from_millis(4),
+            ..Default::default()
         };
         assert_eq!(r.nodes(), 2);
         assert_eq!(r.max_keys_examined(), 500);
@@ -229,6 +282,7 @@ mod tests {
             broadcast: true,
             partial: true,
             wall: Duration::from_millis(1),
+            ..Default::default()
         };
         assert!(!r.fault_free());
         assert_eq!(r.total_retries(), 1);
@@ -238,5 +292,54 @@ mod tests {
         assert_eq!(r.hedge_served_shards(), vec![1]);
         assert_eq!(r.failed_shards(), vec![2]);
         assert_eq!(r.max_virtual_delay(), Duration::from_millis(260));
+    }
+
+    #[test]
+    fn stage_breakdown_attributes_recovery_separately() {
+        let mut s = ShardExecution::clean(
+            0,
+            ExecutionStats {
+                duration: Duration::from_micros(100),
+                planning: Duration::from_micros(10),
+                fetch_time: Duration::from_micros(30),
+                completed: true,
+                ..Default::default()
+            },
+        );
+        s.recovery.injected_latency = Duration::from_millis(250);
+        s.recovery.backoff_wait = Duration::from_millis(10);
+        let b = s.stage_breakdown();
+        assert_eq!(b.planning, Duration::from_micros(10));
+        assert_eq!(b.index_scan, Duration::from_micros(70));
+        assert_eq!(b.fetch_filter, Duration::from_micros(30));
+        assert_eq!(b.recovery, Duration::from_millis(260));
+        // Injected delay never inflates the wall-clock scan stages.
+        assert_eq!(b.wall(), Duration::from_micros(110));
+        assert_eq!(b.total(), s.total_time());
+    }
+
+    #[test]
+    fn stage_totals_sum_across_shards() {
+        let mk = |p: u64, d: u64, f: u64| {
+            ShardExecution::clean(
+                0,
+                ExecutionStats {
+                    planning: Duration::from_micros(p),
+                    duration: Duration::from_micros(d),
+                    fetch_time: Duration::from_micros(f),
+                    ..Default::default()
+                },
+            )
+        };
+        let r = ClusterQueryReport {
+            per_shard: vec![mk(1, 10, 4), mk(2, 20, 6)],
+            ..Default::default()
+        };
+        let t = r.stage_totals();
+        assert_eq!(t.planning, Duration::from_micros(3));
+        assert_eq!(t.index_scan, Duration::from_micros(20));
+        assert_eq!(t.fetch_filter, Duration::from_micros(10));
+        assert_eq!(t.recovery, Duration::ZERO);
+        assert_eq!(r.max_shard_total_time(), Duration::from_micros(22));
     }
 }

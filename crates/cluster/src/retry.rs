@@ -2,7 +2,7 @@
 //! with exponential backoff, and hedged reads to a replica.
 //!
 //! The recovery loop reacts to faults drawn from the
-//! [`FaultInjector`](crate::faults::FaultInjector):
+//! [`FaultInjector`]:
 //!
 //! * **no fault** — the attempt answers; done.
 //! * **latency ≤ timeout** — slow but answered; the delay is recorded

@@ -138,6 +138,14 @@ impl StStore {
         )
     }
 
+    /// MongoDB-style `explain("executionStats")`: execute the query and
+    /// return the stage-timing document instead of the result set —
+    /// per-shard planning/indexScan/fetchFilter/recovery micros plus the
+    /// router's covering/routing/merge stages.
+    pub fn st_explain(&self, query: &StQuery) -> Document {
+        self.st_query(query).1.explain()
+    }
+
     /// Like [`StStore::st_query`], but a shard abandoned by the
     /// fault-tolerant router is an error instead of a silently partial
     /// result set.

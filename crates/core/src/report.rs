@@ -1,7 +1,8 @@
 //! Per-query reports combining cluster metrics and curve overhead.
 
 use std::time::Duration;
-use sts_cluster::ClusterQueryReport;
+use sts_cluster::{ClusterQueryReport, ShardExecution};
+use sts_document::{doc, Document, Value};
 
 /// Everything the paper measures for one query execution.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +32,71 @@ impl QueryReport {
     pub fn cluster_latency(&self) -> Duration {
         self.cluster.max_shard_time()
     }
+
+    /// The query's full cost including the curve decomposition the
+    /// paper reports separately (Table 8) and any virtual recovery
+    /// delay fault injection charged to the slowest shard.
+    pub fn total_time(&self) -> Duration {
+        self.hilbert_time + self.cluster.wall + self.cluster.max_virtual_delay()
+    }
+
+    /// MongoDB-`executionStats`-style explain document: the §5.1
+    /// metrics plus a per-stage timing breakdown on every touched
+    /// shard. All durations are integer microseconds (truncated), so
+    /// stage sums never exceed their reported totals. Virtual
+    /// recovery delay appears only under its own `recoveryMicros`
+    /// stage — never folded into scan time.
+    pub fn explain(&self) -> Document {
+        let shards: Vec<Value> = self
+            .cluster
+            .per_shard
+            .iter()
+            .map(|s| Value::Document(shard_explain(s)))
+            .collect();
+        doc! {
+            "nReturned" => self.cluster.n_returned() as i64,
+            "executionTimeMicros" => micros(self.cluster.wall),
+            "clusterLatencyMicros" => micros(self.cluster.max_shard_total_time()),
+            "nodes" => self.cluster.nodes() as i64,
+            "broadcast" => self.cluster.broadcast,
+            "partial" => self.cluster.partial,
+            "covering" => doc! {
+                "micros" => micros(self.hilbert_time),
+                "ranges" => self.hilbert_ranges as i64,
+            },
+            "routingMicros" => micros(self.cluster.routing),
+            "mergeMicros" => micros(self.cluster.merge),
+            "shards" => shards,
+        }
+    }
+}
+
+/// One shard's explain sub-document.
+fn shard_explain(s: &ShardExecution) -> Document {
+    let b = s.stage_breakdown();
+    doc! {
+        "shard" => s.shard as i64,
+        "indexUsed" => s.stats.index_used.clone(),
+        "keysExamined" => s.stats.keys_examined as i64,
+        "docsExamined" => s.stats.docs_examined as i64,
+        "seeks" => s.stats.seeks as i64,
+        "nReturned" => s.stats.n_returned as i64,
+        "completed" => s.stats.completed,
+        "servedByReplica" => s.recovery.served_by_replica,
+        "totalMicros" => micros(s.total_time()),
+        "stages" => doc! {
+            "planningMicros" => micros(b.planning),
+            "indexScanMicros" => micros(b.index_scan),
+            "fetchFilterMicros" => micros(b.fetch_filter),
+            "recoveryMicros" => micros(b.recovery),
+        },
+    }
+}
+
+/// Truncating micros conversion: `Σ floor(xᵢ) ≤ floor(Σ xᵢ)`, so stage
+/// sums stay within reported totals.
+fn micros(d: Duration) -> i64 {
+    i64::try_from(d.as_micros()).unwrap_or(i64::MAX)
 }
 
 #[cfg(test)]
@@ -56,6 +122,7 @@ mod tests {
                 broadcast: false,
                 partial: false,
                 wall: Duration::from_millis(25),
+                ..Default::default()
             },
             hilbert_time: Duration::from_micros(5),
             hilbert_ranges: 4,
@@ -69,5 +136,82 @@ mod tests {
         let r = QueryReport::default();
         assert_eq!(r.cluster_latency(), Duration::ZERO);
         assert_eq!(r.hilbert_ranges, 0);
+    }
+
+    #[test]
+    fn explain_carries_stage_breakdowns() {
+        let mut slow = ShardExecution::clean(
+            2,
+            ExecutionStats {
+                duration: Duration::from_micros(100),
+                planning: Duration::from_micros(10),
+                fetch_time: Duration::from_micros(40),
+                keys_examined: 7,
+                docs_examined: 3,
+                n_returned: 2,
+                completed: true,
+                ..Default::default()
+            },
+        );
+        slow.recovery.injected_latency = Duration::from_millis(5);
+        let r = QueryReport {
+            cluster: ClusterQueryReport {
+                per_shard: vec![slow],
+                wall: Duration::from_micros(150),
+                routing: Duration::from_micros(4),
+                merge: Duration::from_micros(6),
+                ..Default::default()
+            },
+            hilbert_time: Duration::from_micros(9),
+            hilbert_ranges: 4,
+        };
+        let e = r.explain();
+        assert_eq!(e.get("nReturned"), Some(&Value::Int64(2)));
+        assert_eq!(e.get("routingMicros"), Some(&Value::Int64(4)));
+        assert_eq!(e.get("mergeMicros"), Some(&Value::Int64(6)));
+        let cov = match e.get("covering") {
+            Some(Value::Document(d)) => d,
+            other => panic!("covering: {other:?}"),
+        };
+        assert_eq!(cov.get("micros"), Some(&Value::Int64(9)));
+        assert_eq!(cov.get("ranges"), Some(&Value::Int64(4)));
+        let shards = match e.get("shards") {
+            Some(Value::Array(a)) => a,
+            other => panic!("shards: {other:?}"),
+        };
+        assert_eq!(shards.len(), 1);
+        let shard = match &shards[0] {
+            Value::Document(d) => d,
+            other => panic!("shard doc: {other:?}"),
+        };
+        let stages = match shard.get("stages") {
+            Some(Value::Document(d)) => d,
+            other => panic!("stages: {other:?}"),
+        };
+        // Every stage is present, non-negative, and the stage micros
+        // sum to no more than the shard's reported total.
+        let mut sum = 0i64;
+        for key in [
+            "planningMicros",
+            "indexScanMicros",
+            "fetchFilterMicros",
+            "recoveryMicros",
+        ] {
+            match stages.get(key) {
+                Some(&Value::Int64(v)) => {
+                    assert!(v >= 0, "{key} negative");
+                    sum += v;
+                }
+                other => panic!("{key}: {other:?}"),
+            }
+        }
+        let total = match shard.get("totalMicros") {
+            Some(&Value::Int64(v)) => v,
+            other => panic!("totalMicros: {other:?}"),
+        };
+        assert!(sum <= total, "stage sum {sum} exceeds total {total}");
+        // Recovery's injected delay lands in its own stage.
+        assert_eq!(stages.get("recoveryMicros"), Some(&Value::Int64(5_000)));
+        assert_eq!(stages.get("indexScanMicros"), Some(&Value::Int64(60)));
     }
 }

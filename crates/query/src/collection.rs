@@ -94,9 +94,10 @@ impl LocalCollection {
     }
 
     /// Plan and execute, returning matching documents and explain stats.
+    /// Planning time (trial executions included) is reported in
+    /// `stats.planning`, separately from the execution window.
     pub fn find(&self, filter: &Filter) -> (Vec<Document>, ExecutionStats) {
-        let plan = self.plan(filter);
-        execute_plan(self, filter, &plan, None, true)
+        self.find_with_planner(&Planner::default(), filter)
     }
 
     /// Plan, execute and shape (sort/limit) — the shard-local half of a
@@ -117,8 +118,16 @@ impl LocalCollection {
         planner: &Planner,
         filter: &Filter,
     ) -> (Vec<Document>, ExecutionStats) {
+        let planning_start = std::time::Instant::now();
         let plan = planner.choose(self, filter);
-        execute_plan(self, filter, &plan, None, true)
+        let planning = planning_start.elapsed();
+        let (docs, mut stats) = execute_plan(self, filter, &plan, None, true);
+        stats.planning = planning;
+        let obs = sts_obs::global();
+        obs.record("shard.planning", stats.planning);
+        obs.record("shard.index_scan", stats.scan_time());
+        obs.record("shard.fetch_filter", stats.fetch_time);
+        (docs, stats)
     }
 
     /// Delete every matching document, returning the removed documents
@@ -197,6 +206,20 @@ mod tests {
         assert!(stats.n_returned as usize == truth.len());
         assert!(!truth.is_empty(), "query should match something");
         assert!(stats.completed);
+    }
+
+    #[test]
+    fn find_reports_stage_timings() {
+        let c = st_collection();
+        let f = Filter::And(vec![
+            Filter::gte("date", DateTime::from_millis(0)),
+            Filter::lte("date", DateTime::from_millis(100 * 60_000)),
+        ]);
+        let (_, stats) = c.find(&f);
+        assert!(stats.fetch_time <= stats.duration);
+        assert_eq!(stats.scan_time() + stats.fetch_time, stats.duration);
+        assert_eq!(stats.total_time(), stats.planning + stats.duration);
+        assert!(stats.docs_examined > 0);
     }
 
     #[test]

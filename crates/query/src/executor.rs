@@ -74,9 +74,13 @@ pub fn execute_plan_with_rids(
         if !plan.key_filters.iter().all(|kf| kf.matches(values)) {
             return ControlFlow::Continue(());
         }
+        // Everything from here is the FetchFilter stage: heap fetch plus
+        // residual-filter evaluation (two clock reads per fetched doc).
+        let fetch_start = Instant::now();
         let Some(doc) = coll.get(rid) else {
             // Tombstoned between index and heap — cannot happen in this
             // single-threaded simulator, but stay robust.
+            stats.fetch_time += fetch_start.elapsed();
             return ControlFlow::Continue(());
         };
         stats.docs_examined += 1;
@@ -86,6 +90,7 @@ pub fn execute_plan_with_rids(
                 out.push((rid, doc));
             }
         }
+        stats.fetch_time += fetch_start.elapsed();
         ControlFlow::Continue(())
     };
 
@@ -115,6 +120,7 @@ pub fn execute_plan_with_rids(
 mod tests {
     use super::*;
     use crate::plan::KeyFilter;
+    use std::time::Duration;
     use sts_document::{doc, DateTime, Value};
     use sts_geo::GeoRect;
     use sts_index::{IndexField, IndexSpec, ScanRange};
@@ -247,6 +253,16 @@ mod tests {
         assert_eq!(docs.len(), 6 * 6);
         assert_eq!(stats.n_returned, 36);
         assert_eq!(stats.docs_examined, 400, "no key filter: all fetched");
+    }
+
+    #[test]
+    fn fetch_time_stays_within_the_execution_window() {
+        let c = collection();
+        let f = st_filter();
+        let (_, stats) = execute_plan(&c, &f, &hil_plan(IndexAccess::Sequential), None, true);
+        assert!(stats.fetch_time <= stats.duration);
+        assert_eq!(stats.scan_time() + stats.fetch_time, stats.duration);
+        assert!(stats.fetch_time > Duration::ZERO, "100 docs were fetched");
     }
 
     #[test]

@@ -16,13 +16,33 @@ pub struct ExecutionStats {
     pub n_returned: u64,
     /// B+tree descents performed.
     pub seeks: u64,
-    /// Wall-clock execution time on this shard.
+    /// Wall-clock execution time on this shard (index scan + fetch +
+    /// residual filtering; excludes planning).
     pub duration: Duration,
+    /// Wall-clock time spent choosing the plan, trial executions
+    /// included (the `Planning` stage).
+    pub planning: Duration,
+    /// The slice of `duration` spent fetching documents and running the
+    /// residual filter (the `FetchFilter` stage); the remainder is pure
+    /// index scanning.
+    pub fetch_time: Duration,
     /// False when a trial budget aborted the scan early.
     pub completed: bool,
 }
 
 impl ExecutionStats {
+    /// The `IndexScan` stage: execution time not spent on fetch +
+    /// residual filtering. Fetch intervals are disjoint sub-intervals
+    /// of the execution window measured with the same monotonic clock,
+    /// so this never underflows in practice; saturate anyway.
+    pub fn scan_time(&self) -> Duration {
+        self.duration.saturating_sub(self.fetch_time)
+    }
+
+    /// Total shard-local wall time: planning plus execution.
+    pub fn total_time(&self) -> Duration {
+        self.planning + self.duration
+    }
     /// Work units in the MongoDB multi-planner sense: one per key
     /// examined plus one per fetch.
     pub fn works(&self) -> u64 {
@@ -77,5 +97,25 @@ mod tests {
             ..Default::default()
         };
         assert!(tight.productivity() > loose.productivity());
+    }
+
+    #[test]
+    fn stage_split_partitions_the_execution_window() {
+        let s = ExecutionStats {
+            duration: Duration::from_micros(100),
+            planning: Duration::from_micros(7),
+            fetch_time: Duration::from_micros(40),
+            ..Default::default()
+        };
+        assert_eq!(s.scan_time(), Duration::from_micros(60));
+        assert_eq!(s.scan_time() + s.fetch_time, s.duration);
+        assert_eq!(s.total_time(), Duration::from_micros(107));
+        // A transiently inconsistent pair must not panic.
+        let odd = ExecutionStats {
+            duration: Duration::from_micros(1),
+            fetch_time: Duration::from_micros(5),
+            ..Default::default()
+        };
+        assert_eq!(odd.scan_time(), Duration::ZERO);
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Compare two perfsmoke BENCH_*.json reports and gate on regressions.
+#
+#   scripts/bench_diff.sh <baseline.json> <current.json> [bench-diff flags...]
+#
+# Thin wrapper over the `bench-diff` binary (crates/bench/src/bin/
+# bench_diff.rs) so CI and humans share one entry point. Extra flags
+# (e.g. --check, --max-latency-pct 35, --max-counter-pct 5) pass
+# through verbatim; the exit code is the gate verdict.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+    echo "usage: $0 <baseline.json> <current.json> [--check] [--max-latency-pct N] [--max-counter-pct N]" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+exec cargo run --release --quiet -p sts-bench --bin bench-diff -- "$@"

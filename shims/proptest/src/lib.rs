@@ -458,7 +458,7 @@ pub mod collection {
         VecStrategy { element, sizes }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         sizes: core::ops::Range<usize>,

@@ -19,7 +19,8 @@
 //! * [`query`] — filters, trial-based planner, executor,
 //! * [`cluster`] — shards, chunks, balancer, zones, mongos router,
 //! * [`core`] — the paper's four approaches behind one facade,
-//! * [`workload`] — data generators and the paper's query set.
+//! * [`workload`] — data generators and the paper's query set,
+//! * [`obs`] — metrics registry, latency histograms, stage tracing.
 
 pub use sts_btree as btree;
 pub use sts_cluster as cluster;
@@ -29,6 +30,7 @@ pub use sts_document as document;
 pub use sts_encoding as encoding;
 pub use sts_geo as geo;
 pub use sts_index as index;
+pub use sts_obs as obs;
 pub use sts_query as query;
 pub use sts_storage as storage;
 pub use sts_workload as workload;
