@@ -139,8 +139,13 @@ fn run_approach(
     cfg: &HarnessConfig,
 ) -> ApproachRow {
     let build_start = Instant::now();
-    let store = build_store(approach, Dataset::R, records, cfg, false);
+    let mut store = build_store(approach, Dataset::R, records, cfg, false);
     let build_ms = build_start.elapsed().as_secs_f64() * 1_000.0;
+
+    // Private metrics registry per approach: without this, every
+    // approach's shard/router metrics land in the process-wide global
+    // registry and bleed into whichever approach is inspected next.
+    store.set_metrics_registry(std::sync::Arc::new(sts_obs::Registry::new()));
 
     // Warm-up pass over the full batch: pages in every index the
     // planner may pick and absorbs one-time process costs (thread-pool

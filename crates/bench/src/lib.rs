@@ -9,6 +9,8 @@
 //! default 0.01), `--shards` (default 12) and `--seed`. Results print as
 //! aligned text and are archived as JSON under `results/`.
 
+pub mod obsreport;
+
 use serde::Serialize;
 use std::time::Duration;
 use sts_core::{Approach, StQuery, StStore, StoreConfig};
@@ -305,29 +307,36 @@ pub fn utc_date_string() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-/// City-sized rectangles around the R set's urban hotspots with
-/// week-long windows — a plausible concurrent dispatcher workload.
-/// Deterministic in `seed` (SplitMix64), shared by the `throughput`
-/// and `perfsmoke` binaries.
-pub fn small_query_batch(n: usize, seed: u64) -> Vec<StQuery> {
-    let centers = [
-        (23.7275, 37.9838),
-        (22.9446, 40.6401),
-        (21.7346, 38.2466),
-        (25.1442, 35.3387),
-        (22.4191, 39.6390),
-    ];
+/// The R set's urban hotspot centers the query batches sample around.
+const HOTSPOT_CENTERS: [(f64, f64); 5] = [
+    (23.7275, 37.9838),
+    (22.9446, 40.6401),
+    (21.7346, 38.2466),
+    (25.1442, 35.3387),
+    (22.4191, 39.6390),
+];
+
+/// A SplitMix64 draw stream (the workload generators' PRNG).
+fn splitmix64_stream(seed: u64) -> impl FnMut() -> u64 {
     let mut state = seed;
-    let mut next = move || {
+    move || {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
-    };
+    }
+}
+
+/// City-sized rectangles around the R set's urban hotspots with
+/// week-long windows — a plausible concurrent dispatcher workload.
+/// Deterministic in `seed` (SplitMix64), shared by the `throughput`
+/// and `perfsmoke` binaries.
+pub fn small_query_batch(n: usize, seed: u64) -> Vec<StQuery> {
+    let mut next = splitmix64_stream(seed);
     (0..n)
         .map(|_| {
-            let (clon, clat) = centers[(next() % centers.len() as u64) as usize];
+            let (clon, clat) = HOTSPOT_CENTERS[(next() % HOTSPOT_CENTERS.len() as u64) as usize];
             let dx = (next() % 1_000) as f64 / 10_000.0 - 0.05;
             let dy = (next() % 1_000) as f64 / 10_000.0 - 0.05;
             let w = 0.02 + (next() % 600) as f64 / 10_000.0;
@@ -337,6 +346,32 @@ pub fn small_query_batch(n: usize, seed: u64) -> Vec<StQuery> {
                 rect: GeoRect::new(clon + dx, clat + dy, clon + dx + w, clat + dy + w),
                 t0,
                 t1: DateTime::from_millis(t0.millis() + 7 * 86_400_000),
+            }
+        })
+        .collect()
+}
+
+/// A *temporally clustered* workload: the same spatially varied
+/// hotspot rectangles as [`small_query_batch`], but every query asks
+/// about the same hot three-day window. This is the regime that
+/// exposes the baselines' load skew: sharding by `date` routes every
+/// query to whichever shards own those three days, while Hilbert
+/// sharding spreads the spatially varied queries across the cluster
+/// (§4.2's locality claim — `obs-report` quantifies it).
+pub fn clustered_query_batch(n: usize, seed: u64) -> Vec<StQuery> {
+    let mut next = splitmix64_stream(seed);
+    let t0 = dataset_start().plus_millis(90 * 86_400_000);
+    let t1 = DateTime::from_millis(t0.millis() + 3 * 86_400_000);
+    (0..n)
+        .map(|_| {
+            let (clon, clat) = HOTSPOT_CENTERS[(next() % HOTSPOT_CENTERS.len() as u64) as usize];
+            let dx = (next() % 1_000) as f64 / 10_000.0 - 0.05;
+            let dy = (next() % 1_000) as f64 / 10_000.0 - 0.05;
+            let w = 0.02 + (next() % 600) as f64 / 10_000.0;
+            StQuery {
+                rect: GeoRect::new(clon + dx, clat + dy, clon + dx + w, clat + dy + w),
+                t0,
+                t1,
             }
         })
         .collect()

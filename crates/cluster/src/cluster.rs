@@ -2,6 +2,7 @@
 
 use crate::chunk::ChunkMap;
 use crate::faults::{FailPoint, FaultInjector};
+use crate::health::{BalancerEventKind, ClusterHealth, HealthSnapshot};
 use crate::report::{ClusterQueryReport, ShardExecution};
 use crate::retry::{run_with_recovery, RecoveryPolicy, ShardRecovery};
 use crate::shard::Shard;
@@ -9,10 +10,12 @@ use crate::shardkey::{ShardKey, ShardStrategy};
 use crate::zones::{zones_from_boundaries, Zone};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use sts_btree::SizeReport;
 use sts_document::{encoded_size, Document, Value};
 use sts_index::{IndexField, IndexSpec};
+use sts_obs::Registry;
 use sts_query::{ExecutionStats, Filter, Planner, QueryError, QueryShape};
 use sts_storage::CollectionStats;
 
@@ -55,6 +58,11 @@ pub struct Cluster {
     zones: Option<Vec<Zone>>,
     migrations: MigrationStats,
     faults: FaultInjector,
+    health: ClusterHealth,
+    /// Metric sink for router/shard observables. Defaults to the
+    /// process-wide registry; [`Cluster::set_metrics_registry`] rescopes
+    /// the whole deployment (router + every shard) onto a private one.
+    obs: Arc<Registry>,
 }
 
 /// Balancer bookkeeping: how much data the cluster has shuffled.
@@ -116,6 +124,7 @@ impl Cluster {
             .map(|id| Shard::new(id, &index_specs))
             .collect();
         let faults = FaultInjector::new(config.fault_seed);
+        let health = ClusterHealth::new(config.num_shards);
         Cluster {
             config,
             shard_key,
@@ -125,7 +134,32 @@ impl Cluster {
             zones: None,
             migrations: MigrationStats::default(),
             faults,
+            health,
+            obs: sts_obs::global_handle(),
         }
+    }
+
+    /// Rescope every metric this deployment records — the router's
+    /// scatter/gather observables and every shard's stage timers —
+    /// onto `obs` instead of the process-wide registry. Benchmarks use
+    /// this so one approach's counters can never bleed into another's.
+    pub fn set_metrics_registry(&mut self, obs: Arc<Registry>) {
+        for shard in &mut self.shards {
+            shard.collection_mut().set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The registry this deployment records metrics into.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// Point-in-time cluster-health telemetry: per-shard and per-chunk
+    /// load counters plus the balancer event history, aggregated
+    /// against the current routing table.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        self.health.snapshot(&self.chunks, &self.docs_per_shard())
     }
 
     /// The failpoint registry. Arming takes `&self` (interior
@@ -236,7 +270,7 @@ impl Cluster {
             max.as_deref(),
         );
         if keys.len() < 2 {
-            self.chunks.chunks_mut()[cidx].jumbo = true;
+            self.mark_jumbo(cidx);
             return;
         }
         let mut split = keys[keys.len() / 2].clone();
@@ -246,16 +280,25 @@ impl Cluster {
             match keys.iter().find(|k| **k > split) {
                 Some(k) => split = k.clone(),
                 None => {
-                    self.chunks.chunks_mut()[cidx].jumbo = true;
+                    self.mark_jumbo(cidx);
                     return;
                 }
             }
         }
         if split <= min {
-            self.chunks.chunks_mut()[cidx].jumbo = true;
+            self.mark_jumbo(cidx);
             return;
         }
+        self.health.record_event(min, BalancerEventKind::Split);
         self.chunks.split(cidx, split);
+    }
+
+    /// Flag a chunk as unsplittable and log the event.
+    fn mark_jumbo(&mut self, cidx: usize) {
+        let c = &mut self.chunks.chunks_mut()[cidx];
+        c.jumbo = true;
+        let min = c.min.clone();
+        self.health.record_event(min, BalancerEventKind::Jumbo);
     }
 
     /// Even out chunk counts (and enforce zone pinning when configured)
@@ -320,6 +363,14 @@ impl Cluster {
         let docs = self.shards[src].extract_range(&self.shard_key_index, &min, max.as_deref());
         self.migrations.chunks_moved += 1;
         self.migrations.docs_moved += docs.len() as u64;
+        self.health.record_event(
+            min.clone(),
+            BalancerEventKind::Migrate {
+                from: src,
+                to: dst,
+                docs: docs.len() as u64,
+            },
+        );
         for d in &docs {
             self.shards[dst]
                 .insert(d)
@@ -378,6 +429,14 @@ impl Cluster {
 
     /// Which shards a query must visit, and whether that's a broadcast.
     pub fn target_shards(&self, filter: &Filter) -> (Vec<usize>, bool) {
+        let (shards, broadcast, _) = self.route(filter);
+        (shards, broadcast)
+    }
+
+    /// Full routing decision: target shards, broadcast flag, and the
+    /// routing-table chunk indices the decision touched (all chunks on
+    /// a broadcast — the router consults the whole table).
+    fn route(&self, filter: &Filter) -> (Vec<usize>, bool, Vec<usize>) {
         let shape = QueryShape::analyze(filter);
         let lead = &self.shard_key.fields[0];
         let intervals: Option<Vec<KeyInterval>> = match self.shard_key.strategy {
@@ -410,15 +469,25 @@ impl Cluster {
             }
         };
         match intervals {
-            None => ((0..self.config.num_shards).collect(), true),
+            None => (
+                (0..self.config.num_shards).collect(),
+                true,
+                (0..self.chunks.chunks().len()).collect(),
+            ),
             Some(ivs) => {
                 let mut shards = BTreeSet::new();
+                let mut touched = BTreeSet::new();
                 for (lo, hi) in ivs {
                     for idx in self.chunks.overlapping(&lo, hi.as_deref()) {
                         shards.insert(self.chunks.chunks()[idx].shard);
+                        touched.insert(idx);
                     }
                 }
-                (shards.into_iter().collect(), false)
+                (
+                    shards.into_iter().collect(),
+                    false,
+                    touched.into_iter().collect(),
+                )
             }
         }
     }
@@ -437,7 +506,7 @@ impl Cluster {
         /// recovery policy gave the shard up), and the recovery record.
         type GatherRow<R> = (usize, Option<(R, ExecutionStats)>, ShardRecovery);
         let start = Instant::now();
-        let (targets, broadcast) = self.target_shards(filter);
+        let (targets, broadcast, touched_chunks) = self.route(filter);
         let routing = start.elapsed();
         let query_id = self.faults.begin_query();
         let policy = self.config.recovery;
@@ -481,7 +550,13 @@ impl Cluster {
             routing,
             merge: Duration::ZERO,
         };
-        record_scatter_metrics(&report);
+        self.health.record_query(&report);
+        self.health.record_chunk_access(
+            touched_chunks
+                .iter()
+                .map(|&idx| self.chunks.chunks()[idx].min.as_slice()),
+        );
+        record_scatter_metrics(&self.obs, &report);
         (payloads, report)
     }
 
@@ -495,7 +570,7 @@ impl Cluster {
         });
         let merge_start = Instant::now();
         let docs = chunks.into_iter().flatten().collect();
-        finish_merge(&mut report, merge_start.elapsed());
+        finish_merge(&self.obs, &mut report, merge_start.elapsed());
         (docs, report)
     }
 
@@ -527,7 +602,7 @@ impl Cluster {
         let merge_start = Instant::now();
         let mut docs: Vec<Document> = chunks.into_iter().flatten().collect();
         options.shape(&mut docs);
-        finish_merge(&mut report, merge_start.elapsed());
+        finish_merge(&self.obs, &mut report, merge_start.elapsed());
         (docs, report)
     }
 
@@ -579,7 +654,7 @@ impl Cluster {
             merged.merge(partial);
         }
         let docs = merged.finalize(spec);
-        finish_merge(&mut report, merge_start.elapsed());
+        finish_merge(&self.obs, &mut report, merge_start.elapsed());
         (docs, report)
     }
 
@@ -627,11 +702,10 @@ impl Cluster {
 type KeyInterval = (Vec<u8>, Option<Vec<u8>>);
 
 /// Record router-level observables for one scatter/gather into the
-/// global metrics registry: routing latency, per-query fan-out and the
-/// recovery counters. Virtual recovery delay goes to its own
+/// cluster's metrics registry: routing latency, per-query fan-out and
+/// the recovery counters. Virtual recovery delay goes to its own
 /// histogram — it is injected, not measured, time.
-fn record_scatter_metrics(report: &ClusterQueryReport) {
-    let obs = sts_obs::global();
+fn record_scatter_metrics(obs: &Registry, report: &ClusterQueryReport) {
     obs.counter("router.queries").inc();
     if report.broadcast {
         obs.counter("router.broadcasts").inc();
@@ -656,10 +730,9 @@ fn record_scatter_metrics(report: &ClusterQueryReport) {
 
 /// Fold the router-side merge stage into the report: the merge runs
 /// after the scatter wall-clock window closed, so it extends `wall`.
-fn finish_merge(report: &mut ClusterQueryReport, merge: Duration) {
+fn finish_merge(obs: &Registry, report: &mut ClusterQueryReport, merge: Duration) {
     report.merge = merge;
     report.wall += merge;
-    let obs = sts_obs::global();
     obs.record("router.merge", merge);
     obs.record("router.wall", report.wall);
 }

@@ -50,6 +50,7 @@
 mod chunk;
 mod cluster;
 pub mod faults;
+pub mod health;
 mod report;
 pub mod retry;
 mod shard;
@@ -59,6 +60,10 @@ mod zones;
 pub use chunk::{Chunk, ChunkMap};
 pub use cluster::{Cluster, ClusterConfig, MigrationStats};
 pub use faults::{AttemptCtx, FailPoint, FailPointMode, FaultInjector, FaultKind};
+pub use health::{
+    skew, BalancerEvent, BalancerEventKind, ChunkHeatSnapshot, HealthSnapshot, ShardLoadSnapshot,
+    Skew,
+};
 pub use report::{ClusterQueryReport, ShardExecution};
 pub use retry::{run_with_recovery, RecoveryPolicy, ShardRecovery};
 pub use shard::Shard;

@@ -2,13 +2,18 @@
 
 use crate::approach::Approach;
 use crate::config::StoreConfig;
+use crate::profiler::{Profiler, ProfilerConfig, QueryKind};
 use crate::query::{build_filter, StQuery};
 use crate::report::QueryReport;
 use crate::{HILBERT_FIELD, LOCATION_FIELD};
-use sts_cluster::{Cluster, ClusterConfig, ClusterQueryReport, FailPoint, RecoveryPolicy};
+use std::sync::Arc;
+use sts_cluster::{
+    Cluster, ClusterConfig, ClusterQueryReport, FailPoint, HealthSnapshot, RecoveryPolicy,
+};
 use sts_curve::CurveGrid;
 use sts_document::Document;
 use sts_index::geo_point_of;
+use sts_obs::{Registry, Trace, TraceId};
 use sts_query::Filter;
 use sts_storage::CollectionStats;
 
@@ -17,6 +22,7 @@ pub struct StStore {
     config: StoreConfig,
     curve: Option<CurveGrid>,
     cluster: Cluster,
+    profiler: Profiler,
 }
 
 impl StStore {
@@ -38,7 +44,70 @@ impl StStore {
             config,
             curve,
             cluster,
+            profiler: Profiler::default(),
         }
+    }
+
+    /// Rescope every metric this store records (router stages, shard
+    /// stage timers, the covering histogram) onto `obs` instead of the
+    /// process-wide registry, so concurrent stores never bleed
+    /// counters into each other.
+    pub fn set_metrics_registry(&mut self, obs: Arc<Registry>) {
+        self.cluster.set_metrics_registry(obs);
+    }
+
+    /// The registry this store records metrics into.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        self.cluster.metrics_registry()
+    }
+
+    /// The slow-query profiler (disabled until
+    /// [`StStore::set_profiler`] enables it).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Reconfigure the slow-query profiler. Takes `&self`, like
+    /// `db.setProfilingLevel()` against a live server.
+    pub fn set_profiler(&self, config: ProfilerConfig) {
+        self.profiler.configure(config);
+    }
+
+    /// The captured slow-query log as `system.profile`-style
+    /// documents, oldest first — the query-able mirror of
+    /// [`StStore::st_explain`].
+    pub fn profile(&self) -> Vec<Document> {
+        self.profiler
+            .entries()
+            .iter()
+            .map(crate::profiler::ProfileEntry::to_document)
+            .collect()
+    }
+
+    /// Execute a query and return its causal span tree on the virtual
+    /// clock (trace id = the store's operation sequence number). Load
+    /// `trace.to_chrome_json()` in `chrome://tracing`/Perfetto.
+    pub fn st_trace(&self, query: &StQuery) -> Trace {
+        let (_, report) = self.st_query(query);
+        report.trace(TraceId(self.profiler.last_op().unwrap_or(0)))
+    }
+
+    /// Cluster-health telemetry: per-shard/per-chunk load, skew
+    /// metrics and the balancer event history.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        self.cluster.health_snapshot()
+    }
+
+    /// Post-execution bookkeeping shared by every query path: the
+    /// covering histogram (Hilbert methods decompose on every query)
+    /// and the slow-query profiler.
+    fn observe_query(&self, kind: QueryKind, query: StQuery, report: &QueryReport) {
+        if self.curve.is_some() {
+            self.metrics_registry()
+                .record("query.covering", report.hilbert_time);
+        }
+        self.profiler
+            .observe(kind, self.config.approach, query, report);
     }
 
     /// The configured approach.
@@ -128,14 +197,13 @@ impl StStore {
             build_filter(query, self.curve.as_ref(), self.config.range_budget)
         };
         let (docs, cluster) = self.cluster.query(&filter);
-        (
-            docs,
-            QueryReport {
-                cluster,
-                hilbert_time,
-                hilbert_ranges,
-            },
-        )
+        let report = QueryReport {
+            cluster,
+            hilbert_time,
+            hilbert_ranges,
+        };
+        self.observe_query(QueryKind::Find, *query, &report);
+        (docs, report)
     }
 
     /// MongoDB-style `explain("executionStats")`: execute the query and
@@ -179,14 +247,19 @@ impl StStore {
             self.config.range_budget,
         );
         let (docs, cluster) = self.cluster.query(&filter);
-        (
-            docs,
-            QueryReport {
-                cluster,
-                hilbert_time,
-                hilbert_ranges,
-            },
-        )
+        let report = QueryReport {
+            cluster,
+            hilbert_time,
+            hilbert_ranges,
+        };
+        // The profiler records the polygon's bounding box as the shape.
+        let shape = StQuery {
+            rect: *polygon.bbox(),
+            t0,
+            t1,
+        };
+        self.observe_query(QueryKind::Polygon, shape, &report);
+        (docs, report)
     }
 
     /// The store-level filter a query translates to (for explain-style
@@ -217,14 +290,13 @@ impl StStore {
             build_filter(query, self.curve.as_ref(), self.config.range_budget)
         };
         let (docs, cluster) = self.cluster.query_with_options(&filter, options);
-        (
-            docs,
-            QueryReport {
-                cluster,
-                hilbert_time,
-                hilbert_ranges,
-            },
-        )
+        let report = QueryReport {
+            cluster,
+            hilbert_time,
+            hilbert_ranges,
+        };
+        self.observe_query(QueryKind::TopK, *query, &report);
+        (docs, report)
     }
 
     /// Distributed `$group` aggregation over a spatio-temporal query —
@@ -241,14 +313,13 @@ impl StStore {
             build_filter(query, self.curve.as_ref(), self.config.range_budget)
         };
         let (docs, cluster) = self.cluster.aggregate(&filter, spec);
-        (
-            docs,
-            QueryReport {
-                cluster,
-                hilbert_time,
-                hilbert_ranges,
-            },
-        )
+        let report = QueryReport {
+            cluster,
+            hilbert_time,
+            hilbert_ranges,
+        };
+        self.observe_query(QueryKind::Aggregate, *query, &report);
+        (docs, report)
     }
 
     /// Configure zones per §4.2.4: `$bucketAuto` boundaries on the

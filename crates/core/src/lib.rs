@@ -53,6 +53,7 @@ mod adaptive;
 mod api;
 mod approach;
 mod config;
+pub mod profiler;
 mod query;
 mod report;
 pub mod sthash;
@@ -61,9 +62,13 @@ pub use adaptive::access_weight;
 pub use api::StStore;
 pub use approach::Approach;
 pub use config::StoreConfig;
+pub use profiler::{ProfileEntry, Profiler, ProfilerConfig, QueryKind};
 pub use query::{build_filter, StQuery};
 pub use report::QueryReport;
-pub use sts_cluster::{FailPoint, FailPointMode, FaultKind, RecoveryPolicy, ShardRecovery};
+pub use sts_cluster::{
+    FailPoint, FailPointMode, FaultKind, HealthSnapshot, RecoveryPolicy, ShardRecovery, Skew,
+};
+pub use sts_obs::{Trace, TraceError, TraceId};
 pub use sts_query::QueryError;
 
 /// Document field holding the GeoJSON point.

@@ -53,7 +53,6 @@ pub fn build_filter(
             let start = Instant::now();
             let ranges = grid.decompose_rect(&query.rect, budget);
             let elapsed = start.elapsed();
-            sts_obs::global().record("query.covering", elapsed);
             let n = ranges.len();
             clauses.push(hilbert_clause(&ranges));
             (elapsed, n)
@@ -87,7 +86,6 @@ pub fn build_polygon_filter(
             let start = Instant::now();
             let ranges = grid.decompose_rect(polygon.bbox(), budget);
             let elapsed = start.elapsed();
-            sts_obs::global().record("query.covering", elapsed);
             let n = ranges.len();
             clauses.push(hilbert_clause(&ranges));
             (elapsed, n)

@@ -3,6 +3,7 @@
 use std::time::Duration;
 use sts_cluster::{ClusterQueryReport, ShardExecution};
 use sts_document::{doc, Document, Value};
+use sts_obs::{Stage, Trace, TraceId, Track};
 
 /// Everything the paper measures for one query execution.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +69,97 @@ impl QueryReport {
             "mergeMicros" => micros(self.cluster.merge),
             "shards" => shards,
         }
+    }
+
+    /// Build the query's causal span tree on the virtual clock.
+    ///
+    /// The timeline models the *concurrent* deployment: the router runs
+    /// `covering` then `routing` serially; every shard's execution then
+    /// starts at the same instant on its own track and lasts that
+    /// shard's `total_time()` (measured stages plus virtual recovery
+    /// delay); the router's `merge` starts once the slowest shard is
+    /// done. Within a shard, `recovery` (iff the fault machinery
+    /// engaged) then `planning`/`indexScan`/`fetchFilter` partition the
+    /// `shardExec` interval exactly.
+    pub fn trace(&self, id: TraceId) -> Trace {
+        let mut t = Trace::new(id);
+        let covering = self.hilbert_time;
+        let routing = self.cluster.routing;
+        let merge = self.cluster.merge;
+        let shards_start = covering + routing;
+        let shard_window = self.cluster.max_shard_total_time();
+        let root = t.add_root(
+            "stQuery",
+            Track::Router,
+            Duration::ZERO,
+            shards_start + shard_window + merge,
+        );
+        t.set_arg(root, "nReturned", self.cluster.n_returned());
+        t.set_arg(root, "nodes", self.cluster.nodes());
+        t.set_arg(root, "broadcast", self.cluster.broadcast);
+        t.set_arg(root, "partial", self.cluster.partial);
+        if covering > Duration::ZERO || self.hilbert_ranges > 0 {
+            let cov = t.add_child(
+                root,
+                Stage::Covering.name(),
+                Track::Router,
+                Duration::ZERO,
+                covering,
+            );
+            t.set_arg(cov, "ranges", self.hilbert_ranges);
+        }
+        t.add_child(
+            root,
+            Stage::Routing.name(),
+            Track::Router,
+            covering,
+            routing,
+        );
+        for s in &self.cluster.per_shard {
+            let b = s.stage_breakdown();
+            let track = Track::Shard(s.shard);
+            let exec = t.add_child(root, "shardExec", track, shards_start, s.total_time());
+            t.set_arg(exec, "shard", s.shard);
+            t.set_arg(exec, "keysExamined", s.stats.keys_examined);
+            t.set_arg(exec, "docsExamined", s.stats.docs_examined);
+            t.set_arg(exec, "nReturned", s.stats.n_returned);
+            t.set_arg(exec, "indexUsed", s.stats.index_used.as_str());
+            t.set_arg(exec, "completed", s.stats.completed);
+            t.set_arg(exec, "servedByReplica", s.recovery.served_by_replica);
+            let mut cursor = shards_start;
+            if !s.recovery.clean() {
+                // The recovery stage leads: injected latency, backoff
+                // waits, hedges — the time before (and around) the
+                // attempt that finally answered. Zero-width when a
+                // fault fired without adding virtual delay.
+                let rec = t.add_child(exec, Stage::Recovery.name(), track, cursor, b.recovery);
+                t.set_arg(rec, "attempts", u64::from(s.recovery.attempts));
+                t.set_arg(rec, "retries", u64::from(s.recovery.retries));
+                t.set_arg(rec, "hedges", u64::from(s.recovery.hedges));
+                t.set_arg(rec, "timeouts", u64::from(s.recovery.timeouts));
+                t.set_arg(rec, "gaveUp", s.recovery.gave_up);
+                cursor += b.recovery;
+            }
+            t.add_child(exec, Stage::Planning.name(), track, cursor, b.planning);
+            cursor += b.planning;
+            t.add_child(exec, Stage::IndexScan.name(), track, cursor, b.index_scan);
+            cursor += b.index_scan;
+            t.add_child(
+                exec,
+                Stage::FetchFilter.name(),
+                track,
+                cursor,
+                b.fetch_filter,
+            );
+        }
+        t.add_child(
+            root,
+            Stage::Merge.name(),
+            Track::Router,
+            shards_start + shard_window,
+            merge,
+        );
+        t
     }
 }
 

@@ -344,6 +344,35 @@ mod tests {
     }
 
     #[test]
+    fn merged_percentiles_match_recording_the_union() {
+        // Per-shard histograms merged into a cluster-wide one must
+        // report the same percentiles as one histogram fed the union
+        // of samples: merge is bucket-wise addition over identical
+        // bucketing, so the equality is exact, not approximate.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        let samples_a: Vec<u64> = (1..=60).map(|i| i * 37).collect(); // 37us..2.2ms
+        let samples_b: Vec<u64> = (1..=40).map(|i| i * i * 11 + 5).collect(); // 16us..17.6ms
+        for &us in &samples_a {
+            a.record(Duration::from_micros(us));
+            union.record(Duration::from_micros(us));
+        }
+        for &us in &samples_b {
+            b.record(Duration::from_micros(us));
+            union.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        for p in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.percentile(p), union.percentile(p), "p{}", p * 100.0);
+        }
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.mean(), union.mean());
+        assert_eq!(a.min(), union.min());
+        assert_eq!(a.max(), union.max());
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let h = Histogram::new();
         h.record(Duration::from_millis(5));

@@ -43,12 +43,16 @@
 //! assert!(snap.p99 >= snap.p50);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod histogram;
 pub mod registry;
 pub mod span;
 pub mod stage;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use registry::{global, Counter, Gauge, Registry, RegistrySnapshot};
+pub use registry::{global, global_handle, Counter, Gauge, Registry, RegistrySnapshot};
 pub use span::Span;
 pub use stage::{Stage, StageBreakdown};
+pub use trace::{SpanId, SpanValue, Trace, TraceError, TraceId, TraceSpan, Track};

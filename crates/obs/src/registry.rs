@@ -170,10 +170,22 @@ impl RegistrySnapshot {
     }
 }
 
-/// The process-wide registry the store's query path records into.
+fn global_cell() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+/// The process-wide registry the store's query path records into by
+/// default (stores can be rescoped onto their own registry — see
+/// `StStore::set_metrics_registry` in `sts-core`).
 pub fn global() -> &'static Registry {
-    static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    global_cell().as_ref()
+}
+
+/// A shared handle to the [`global`] registry, for call sites that
+/// store an `Arc<Registry>` and default it to the process-wide one.
+pub fn global_handle() -> Arc<Registry> {
+    global_cell().clone()
 }
 
 #[cfg(test)]

@@ -1,0 +1,527 @@
+//! Causal query traces on the virtual clock, exportable to Perfetto.
+//!
+//! A [`Trace`] is the span tree of one distributed query: a single
+//! root span on the router's track parenting `covering` / `routing` /
+//! `merge` router stages and one `shardExec` span per targeted shard,
+//! which in turn parents that shard's `recovery` → `planning` →
+//! `indexScan` → `fetchFilter` stage spans (the stage model of
+//! [`crate::stage`]).
+//!
+//! Span intervals live on a **virtual clock**: offsets from the
+//! query's origin computed from the measured stage durations plus any
+//! *virtual* recovery delay the fault layer injected (summed, never
+//! slept — see the crate docs on virtual time). Shards are laid out
+//! concurrently, each on its own track, starting right after the
+//! router's routing stage — the timeline a concurrent deployment
+//! would exhibit, not the serial order a small test box measured.
+//!
+//! [`Trace::to_chrome_json`] renders the tree in the Chrome
+//! trace-event format (`ph: "X"` complete events), loadable directly
+//! in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! # Example
+//!
+//! ```
+//! use sts_obs::trace::{Trace, TraceId, Track};
+//! use std::time::Duration;
+//!
+//! let mut t = Trace::new(TraceId(7));
+//! let root = t.add_root("stQuery", Track::Router, Duration::ZERO, Duration::from_micros(100));
+//! let scan = t.add_child(root, "indexScan", Track::Shard(0),
+//!                        Duration::from_micros(10), Duration::from_micros(60));
+//! t.set_arg(scan, "keysExamined", 42i64);
+//! t.validate().unwrap();
+//! assert!(t.to_chrome_json().contains("traceEvents"));
+//! ```
+
+use serde::Json;
+use std::time::Duration;
+
+/// Identifier of one query's trace. The store uses the profiler's
+/// operation sequence number, so trace ids line up with profile
+/// entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifier of one span within its trace: dense, in allocation
+/// order, so a parent's id is always smaller than its children's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// The timeline lane a span renders on. Perfetto draws one lane
+/// ("thread") per track: the router gets lane 0, shard *s* lane
+/// *s* + 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Track {
+    /// The mongos router's lane.
+    Router,
+    /// One shard's lane.
+    Shard(usize),
+}
+
+impl Track {
+    /// Chrome trace-event `tid` for this track.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Router => 0,
+            Track::Shard(s) => s as u64 + 1,
+        }
+    }
+
+    /// Human-readable lane label (the Perfetto thread name).
+    pub fn label(self) -> String {
+        match self {
+            Track::Router => "router".to_string(),
+            Track::Shard(s) => format!("shard {s}"),
+        }
+    }
+}
+
+/// An argument value attached to a span, rendered in Perfetto's
+/// "Arguments" pane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpanValue {
+    /// Integer argument (counters, ids).
+    Int(i64),
+    /// Floating-point argument.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// String argument (index names, approach labels).
+    Str(String),
+}
+
+impl From<i64> for SpanValue {
+    fn from(v: i64) -> Self {
+        SpanValue::Int(v)
+    }
+}
+impl From<u64> for SpanValue {
+    fn from(v: u64) -> Self {
+        SpanValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for SpanValue {
+    fn from(v: usize) -> Self {
+        SpanValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for SpanValue {
+    fn from(v: f64) -> Self {
+        SpanValue::Float(v)
+    }
+}
+impl From<bool> for SpanValue {
+    fn from(v: bool) -> Self {
+        SpanValue::Bool(v)
+    }
+}
+impl From<&str> for SpanValue {
+    fn from(v: &str) -> Self {
+        SpanValue::Str(v.to_string())
+    }
+}
+impl From<String> for SpanValue {
+    fn from(v: String) -> Self {
+        SpanValue::Str(v)
+    }
+}
+
+impl SpanValue {
+    fn to_json(&self) -> Json {
+        match self {
+            SpanValue::Int(v) => Json::Int(*v),
+            SpanValue::Float(v) => Json::Float(*v),
+            SpanValue::Bool(v) => Json::Bool(*v),
+            SpanValue::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+/// One node of a trace tree: a named interval on the trace's virtual
+/// clock, linked to its parent and pinned to a rendering track.
+#[derive(Clone, Debug)]
+pub struct TraceSpan {
+    /// This span's id (dense, allocation order).
+    pub id: SpanId,
+    /// Parent span — `None` exactly for the root.
+    pub parent: Option<SpanId>,
+    /// Span name; the stage spans use [`crate::Stage::name`].
+    pub name: String,
+    /// Rendering lane.
+    pub track: Track,
+    /// Start offset from the trace origin, on the virtual clock.
+    pub start: Duration,
+    /// Extent of the span (zero-width spans are legal).
+    pub duration: Duration,
+    /// Attached key/value arguments.
+    pub args: Vec<(String, SpanValue)>,
+}
+
+impl TraceSpan {
+    /// End offset of the span on the virtual clock.
+    pub fn end(&self) -> Duration {
+        self.start + self.duration
+    }
+}
+
+/// Why a trace fails [`Trace::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace has no root span (every span has a parent).
+    NoRoot,
+    /// More than one span claims to be the root.
+    MultipleRoots {
+        /// Number of parentless spans found.
+        count: usize,
+    },
+    /// A span references a parent id that does not precede it.
+    UnknownParent {
+        /// The offending span.
+        span: SpanId,
+    },
+    /// A span's interval escapes its parent's interval.
+    NotNested {
+        /// The offending span.
+        span: SpanId,
+        /// Its parent.
+        parent: SpanId,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NoRoot => write!(f, "trace has no root span"),
+            TraceError::MultipleRoots { count } => {
+                write!(f, "trace has {count} root spans (expected exactly 1)")
+            }
+            TraceError::UnknownParent { span } => {
+                write!(f, "span {} references an unknown parent", span.0)
+            }
+            TraceError::NotNested { span, parent } => write!(
+                f,
+                "span {} escapes the interval of its parent {}",
+                span.0, parent.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The span tree of one distributed query: builder, invariant checker
+/// and Chrome trace-event exporter.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    id: TraceId,
+    spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new(id: TraceId) -> Self {
+        Trace {
+            id,
+            spans: Vec::new(),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    fn push(
+        &mut self,
+        parent: Option<SpanId>,
+        name: &str,
+        track: Track,
+        start: Duration,
+        duration: Duration,
+    ) -> SpanId {
+        let id = SpanId(self.spans.len() as u64);
+        self.spans.push(TraceSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            track,
+            start,
+            duration,
+            args: Vec::new(),
+        });
+        id
+    }
+
+    /// Add the root span. ([`Trace::validate`] enforces that exactly
+    /// one root exists.)
+    pub fn add_root(&mut self, name: &str, track: Track, start: Duration, dur: Duration) -> SpanId {
+        self.push(None, name, track, start, dur)
+    }
+
+    /// Add a child of `parent`.
+    pub fn add_child(
+        &mut self,
+        parent: SpanId,
+        name: &str,
+        track: Track,
+        start: Duration,
+        dur: Duration,
+    ) -> SpanId {
+        self.push(Some(parent), name, track, start, dur)
+    }
+
+    /// Attach an argument to a span. Unknown ids are ignored.
+    pub fn set_arg(&mut self, span: SpanId, key: &str, value: impl Into<SpanValue>) {
+        if let Some(s) = self.spans.get_mut(span.0 as usize) {
+            s.args.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// All spans, in allocation order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Look up one span.
+    pub fn get(&self, id: SpanId) -> Option<&TraceSpan> {
+        self.spans.get(id.0 as usize)
+    }
+
+    /// The root span, if present.
+    pub fn root(&self) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were added.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Latest end offset over all spans (the trace's virtual extent).
+    pub fn end(&self) -> Duration {
+        self.spans
+            .iter()
+            .map(TraceSpan::end)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Check the structural invariants: exactly one root, every parent
+    /// allocated before its child, and every child's interval nested
+    /// within its parent's.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let roots = self.spans.iter().filter(|s| s.parent.is_none()).count();
+        match roots {
+            0 => return Err(TraceError::NoRoot),
+            1 => {}
+            count => return Err(TraceError::MultipleRoots { count }),
+        }
+        for s in &self.spans {
+            let Some(pid) = s.parent else { continue };
+            if pid.0 >= s.id.0 {
+                return Err(TraceError::UnknownParent { span: s.id });
+            }
+            let p = &self.spans[pid.0 as usize];
+            if s.start < p.start || s.end() > p.end() {
+                return Err(TraceError::NotNested {
+                    span: s.id,
+                    parent: pid,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The Chrome trace-event document as a JSON value tree (the
+    /// pre-serialization form [`Trace::to_chrome_json`] writes out).
+    pub fn chrome_value(&self) -> Json {
+        let mut events = Vec::with_capacity(self.spans.len() + 8);
+        events.push(Json::Obj(vec![
+            ("name".into(), Json::Str("process_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::UInt(1)),
+            (
+                "args".into(),
+                Json::Obj(vec![(
+                    "name".into(),
+                    Json::Str(format!("stQuery trace {}", self.id.0)),
+                )]),
+            ),
+        ]));
+        let mut tracks: Vec<Track> = self.spans.iter().map(|s| s.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for t in tracks {
+            events.push(Json::Obj(vec![
+                ("name".into(), Json::Str("thread_name".into())),
+                ("ph".into(), Json::Str("M".into())),
+                ("pid".into(), Json::UInt(1)),
+                ("tid".into(), Json::UInt(t.tid())),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("name".into(), Json::Str(t.label()))]),
+                ),
+            ]));
+        }
+        for s in &self.spans {
+            let mut args = vec![("spanId".into(), Json::UInt(s.id.0))];
+            if let Some(p) = s.parent {
+                args.push(("parent".into(), Json::UInt(p.0)));
+            }
+            for (k, v) in &s.args {
+                args.push((k.clone(), v.to_json()));
+            }
+            events.push(Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("cat".into(), Json::Str("query".into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::Float(micros_f(s.start))),
+                ("dur".into(), Json::Float(micros_f(s.duration))),
+                ("pid".into(), Json::UInt(1)),
+                ("tid".into(), Json::UInt(s.track.tid())),
+                ("args".into(), Json::Obj(args)),
+            ]));
+        }
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(events)),
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+            (
+                "otherData".into(),
+                Json::Obj(vec![
+                    ("traceId".into(), Json::UInt(self.id.0)),
+                    ("virtualClock".into(), Json::Bool(true)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Render as Chrome trace-event JSON — load the string in
+    /// `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        serde_json::to_string_pretty(&self.chrome_value()).expect("json tree always serializes")
+    }
+}
+
+/// Microseconds as a float (nanosecond precision survives).
+fn micros_f(d: Duration) -> f64 {
+    d.as_nanos() as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(TraceId(3));
+        let root = t.add_root("stQuery", Track::Router, us(0), us(100));
+        let cov = t.add_child(root, "covering", Track::Router, us(0), us(5));
+        t.set_arg(cov, "ranges", 12i64);
+        let exec = t.add_child(root, "shardExec", Track::Shard(2), us(10), us(80));
+        t.set_arg(exec, "indexUsed", "hilbertIndex_1_date_1");
+        t.add_child(exec, "indexScan", Track::Shard(2), us(10), us(50));
+        t.add_child(root, "merge", Track::Router, us(90), us(10));
+        t
+    }
+
+    #[test]
+    fn valid_tree_passes() {
+        let t = sample();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.root().unwrap().name, "stQuery");
+        assert_eq!(t.end(), us(100));
+        assert_eq!(t.get(SpanId(1)).unwrap().name, "covering");
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let t = Trace::new(TraceId(0));
+        assert_eq!(t.validate(), Err(TraceError::NoRoot));
+    }
+
+    #[test]
+    fn second_root_is_an_error() {
+        let mut t = sample();
+        t.add_root("rogue", Track::Router, us(0), us(1));
+        assert_eq!(t.validate(), Err(TraceError::MultipleRoots { count: 2 }));
+    }
+
+    #[test]
+    fn escaping_child_is_an_error() {
+        let mut t = sample();
+        let root = SpanId(0);
+        let bad = t.add_child(root, "late", Track::Router, us(95), us(10));
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NotNested {
+                span: bad,
+                parent: root
+            })
+        );
+    }
+
+    #[test]
+    fn forward_parent_reference_is_an_error() {
+        let mut t = Trace::new(TraceId(0));
+        let root = t.add_root("stQuery", Track::Router, us(0), us(10));
+        t.add_child(SpanId(5), "orphan", Track::Router, us(0), us(1));
+        let _ = root;
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::UnknownParent { .. })
+        ));
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_the_shim_parser() {
+        let t = sample();
+        let json = t.to_chrome_json();
+        let v = serde_json::from_str(&json).expect("chrome trace JSON parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), t.len());
+        // Exactly one X event without a parent arg: the root.
+        let roots = complete
+            .iter()
+            .filter(|e| e.get("args").and_then(|a| a.get("parent")).is_none())
+            .count();
+        assert_eq!(roots, 1);
+        // Thread metadata names every used track.
+        let labels: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(labels, vec!["router", "shard 2"]);
+        // Span args survive.
+        assert!(json.contains("hilbertIndex_1_date_1"));
+        assert_eq!(
+            v.get("otherData").and_then(|o| o.get("traceId")?.as_u64()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn zero_width_spans_are_legal() {
+        let mut t = Trace::new(TraceId(1));
+        let root = t.add_root("stQuery", Track::Router, us(0), us(0));
+        t.add_child(root, "routing", Track::Router, us(0), us(0));
+        t.validate().unwrap();
+    }
+}

@@ -5,21 +5,42 @@ use crate::explain::ExecutionStats;
 use crate::filter::Filter;
 use crate::plan::QueryPlan;
 use crate::planner::Planner;
+use std::sync::Arc;
 use sts_document::Document;
 use sts_index::{extract_key_values, IndexManager, IndexSpec};
+use sts_obs::Registry;
 use sts_storage::{CollectionStats, CollectionStore, RecordId};
 
 /// A shard-local collection: the unit a `mongod` process manages.
-#[derive(Default)]
 pub struct LocalCollection {
     store: CollectionStore,
     indexes: IndexManager,
+    /// Where stage timers land. Defaults to the process-wide registry;
+    /// a cluster can rescope all its shards onto a private one so
+    /// concurrent stores (benchmark approaches, parallel tests) never
+    /// bleed metrics into each other.
+    obs: Arc<Registry>,
+}
+
+impl Default for LocalCollection {
+    fn default() -> Self {
+        LocalCollection {
+            store: CollectionStore::default(),
+            indexes: IndexManager::default(),
+            obs: sts_obs::global_handle(),
+        }
+    }
 }
 
 impl LocalCollection {
     /// Empty collection with no indexes.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Redirect this collection's stage metrics to `obs`.
+    pub fn set_obs(&mut self, obs: Arc<Registry>) {
+        self.obs = obs;
     }
 
     /// Create an index over existing and future documents.
@@ -123,10 +144,9 @@ impl LocalCollection {
         let planning = planning_start.elapsed();
         let (docs, mut stats) = execute_plan(self, filter, &plan, None, true);
         stats.planning = planning;
-        let obs = sts_obs::global();
-        obs.record("shard.planning", stats.planning);
-        obs.record("shard.index_scan", stats.scan_time());
-        obs.record("shard.fetch_filter", stats.fetch_time);
+        self.obs.record("shard.planning", stats.planning);
+        self.obs.record("shard.index_scan", stats.scan_time());
+        self.obs.record("shard.fetch_filter", stats.fetch_time);
         (docs, stats)
     }
 

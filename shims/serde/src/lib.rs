@@ -82,6 +82,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Object view: the key/value pairs in insertion order.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// Types renderable as JSON.
