@@ -65,6 +65,42 @@ struct ApproachRow {
     /// Hilbert decomposition totals (zero for the baselines).
     covering_us_total: f64,
     covering_ranges_total: usize,
+    /// Range-budget ablation (Hilbert methods only): the same batch
+    /// re-run at budgets 16/32/64/128 against the already-loaded store,
+    /// showing the seeks-vs-false-positives trade-off the default
+    /// budget sits on. Empty for the baselines.
+    budget_ablation: Vec<AblationRow>,
+}
+
+/// One ablation point: the workload at one covering-range budget.
+#[derive(Clone, Serialize)]
+struct AblationRow {
+    budget: u64,
+    p50_us: f64,
+    covering_ranges_total: usize,
+    total_keys_examined: u64,
+    /// Correctness anchor: identical across budgets at a fixed seed.
+    results: u64,
+}
+
+/// Budgets ablated per Hilbert approach (the default is 64).
+const ABLATION_BUDGETS: [usize; 4] = [16, 32, 64, 128];
+
+/// Standalone ablation artifact (`--ablation-json`), the CI upload.
+#[derive(Serialize)]
+struct AblationReport {
+    schema: String,
+    generated_at: String,
+    scale: f64,
+    seed: u64,
+    queries: usize,
+    approaches: Vec<AblationApproach>,
+}
+
+#[derive(Serialize)]
+struct AblationApproach {
+    approach: String,
+    rows: Vec<AblationRow>,
 }
 
 fn main() {
@@ -72,6 +108,7 @@ fn main() {
     let (cfg, rest) = HarnessConfig::from_args(&args);
     let mut n_queries = 120usize;
     let mut json_path: Option<String> = None;
+    let mut ablation_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| -> Option<String> {
@@ -85,6 +122,8 @@ fn main() {
             n_queries = v.parse().expect("--queries takes an integer");
         } else if let Some(v) = grab("--json") {
             json_path = Some(v);
+        } else if let Some(v) = grab("--ablation-json") {
+            ablation_path = Some(v);
         } else {
             eprintln!("perfsmoke: unknown argument {a}");
             std::process::exit(2);
@@ -130,6 +169,30 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("# wrote {path}");
+
+    if let Some(apath) = ablation_path {
+        let ablation = AblationReport {
+            schema: "sts-bench-ablation/1".to_string(),
+            generated_at: utc_date_string(),
+            scale: cfg.scale,
+            seed: cfg.seed,
+            queries: n_queries,
+            approaches: report
+                .approaches
+                .iter()
+                .filter(|a| !a.budget_ablation.is_empty())
+                .map(|a| AblationApproach {
+                    approach: a.approach.clone(),
+                    rows: a.budget_ablation.clone(),
+                })
+                .collect(),
+        };
+        if let Err(e) = save_json_to(std::path::Path::new(&apath), &ablation) {
+            eprintln!("perfsmoke: cannot write {apath}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {apath}");
+    }
 }
 
 fn run_approach(
@@ -201,6 +264,41 @@ fn run_approach(
     let query_secs = query_start.elapsed().as_secs_f64();
     let snap = latency.snapshot();
     let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+
+    // Range-budget ablation: replay the batch at each budget against
+    // the already-loaded store (set_range_budget swaps the covering
+    // budget without rebuilding). One pass per budget — the counters
+    // are deterministic, and p50 is noise-robust enough for a
+    // trade-off curve.
+    let budget_ablation = if approach.uses_hilbert() {
+        ABLATION_BUDGETS
+            .iter()
+            .map(|&b| {
+                store.set_range_budget(sts_curve::RangeBudget::new(b));
+                let lat = Histogram::new();
+                let mut cov = 0usize;
+                let mut keys = 0u64;
+                let mut res = 0u64;
+                for q in queries {
+                    let (_, r) = store.st_query(q);
+                    lat.record(r.cluster_latency());
+                    cov += r.hilbert_ranges;
+                    keys += r.cluster.total_keys_examined();
+                    res += r.cluster.n_returned();
+                }
+                AblationRow {
+                    budget: b as u64,
+                    p50_us: us(lat.snapshot().p50),
+                    covering_ranges_total: cov,
+                    total_keys_examined: keys,
+                    results: res,
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let row = ApproachRow {
         approach: approach.name().to_string(),
         p50_us: us(snap.p50),
@@ -218,6 +316,7 @@ fn run_approach(
         results,
         covering_us_total: covering_us,
         covering_ranges_total: covering_ranges,
+        budget_ablation,
     };
     println!(
         "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1} {:>10} {:>10} {:>8}",

@@ -199,6 +199,29 @@ impl ObsReport {
                 );
             }
         }
+        for a in &self.approaches {
+            let allocs = a.metrics.counter("shard.exec_allocs").unwrap_or(0);
+            if let Some(h) = a.metrics.histogram("query.covering_ranges") {
+                let (p50, p95, _, _, max) = h.value_percentiles();
+                let _ = writeln!(
+                    out,
+                    "covering ranges — {:<6} n={} p50={} p95={} max={}  exec allocs {}",
+                    a.approach.name(),
+                    h.count,
+                    p50,
+                    p95,
+                    max,
+                    allocs
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "covering ranges — {:<6} (no decomposition)  exec allocs {}",
+                    a.approach.name(),
+                    allocs
+                );
+            }
+        }
         if let Some((a, e)) = self.slowest() {
             let _ = writeln!(
                 out,
@@ -283,6 +306,27 @@ impl ObsReport {
                     (
                         "routerQueries".into(),
                         Json::UInt(a.metrics.counter("router.queries").unwrap_or(0)),
+                    ),
+                    (
+                        "execAllocs".into(),
+                        Json::UInt(a.metrics.counter("shard.exec_allocs").unwrap_or(0)),
+                    ),
+                    (
+                        "coveringRanges".into(),
+                        match a.metrics.histogram("query.covering_ranges") {
+                            None => Json::Null,
+                            Some(h) => {
+                                let (p50, p95, p99, mean, max) = h.value_percentiles();
+                                Json::Obj(vec![
+                                    ("count".into(), Json::UInt(h.count)),
+                                    ("p50".into(), Json::UInt(p50)),
+                                    ("p95".into(), Json::UInt(p95)),
+                                    ("p99".into(), Json::UInt(p99)),
+                                    ("mean".into(), Json::UInt(mean)),
+                                    ("max".into(), Json::UInt(max)),
+                                ])
+                            }
+                        },
                     ),
                 ])
             })
@@ -476,6 +520,21 @@ mod tests {
                 "{}",
                 a.approach.name()
             );
+        }
+
+        // Covering-size visibility: the Hilbert methods record one
+        // histogram sample per query; baselines never decompose, so the
+        // histogram must not exist on their registries.
+        for a in &report.approaches {
+            let h = a.metrics.histogram("query.covering_ranges");
+            if a.approach.uses_hilbert() {
+                let h = h.expect("hilbert approaches record covering sizes");
+                assert_eq!(h.count, 40, "{}", a.approach.name());
+                let (p50, p95, _, _, max) = h.value_percentiles();
+                assert!(p50 >= 1 && p50 <= p95 && p95 <= max);
+            } else {
+                assert!(h.is_none(), "{} should not decompose", a.approach.name());
+            }
         }
 
         // (a) Slowest trace validates and survives the chrome round-trip.

@@ -36,11 +36,13 @@
 //! assert_eq!(scan.keys_examined(), 11);
 //! ```
 
+mod batch;
 mod iter;
 mod node;
 mod size;
 mod tree;
 
+pub use batch::BatchCursor;
 pub use iter::RangeIter;
 pub use node::{BRANCH_FACTOR, LEAF_CAPACITY};
 pub use size::SizeReport;

@@ -103,6 +103,13 @@ impl BTree {
         RangeIter::new(&self.root, lower, upper)
     }
 
+    /// A forward cursor serving many (ideally sorted) ranges in one
+    /// pass, reusing the descent path across ranges that share a node
+    /// prefix. See [`BatchCursor`](crate::BatchCursor).
+    pub fn batch_cursor(&self) -> crate::BatchCursor<'_> {
+        crate::BatchCursor::new(&self.root)
+    }
+
     /// Full scan in key order.
     pub fn iter(&self) -> RangeIter<'_> {
         self.range(Bound::Unbounded, Bound::Unbounded)

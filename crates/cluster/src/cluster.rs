@@ -569,7 +569,13 @@ impl Cluster {
                 .find_with_planner(&planner, filter)
         });
         let merge_start = Instant::now();
-        let docs = chunks.into_iter().flatten().collect();
+        // `Flatten` has no useful size hint; pre-size the merge vector
+        // from the per-shard counts so the gather does one allocation.
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        let mut docs: Vec<Document> = Vec::with_capacity(total);
+        for chunk in chunks {
+            docs.extend(chunk);
+        }
         finish_merge(&self.obs, &mut report, merge_start.elapsed());
         (docs, report)
     }
@@ -600,7 +606,11 @@ impl Cluster {
             (docs, stats)
         });
         let merge_start = Instant::now();
-        let mut docs: Vec<Document> = chunks.into_iter().flatten().collect();
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        let mut docs: Vec<Document> = Vec::with_capacity(total);
+        for chunk in chunks {
+            docs.extend(chunk);
+        }
         options.shape(&mut docs);
         finish_merge(&self.obs, &mut report, merge_start.elapsed());
         (docs, report)

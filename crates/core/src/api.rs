@@ -3,10 +3,10 @@
 use crate::approach::Approach;
 use crate::config::StoreConfig;
 use crate::profiler::{Profiler, ProfilerConfig, QueryKind};
-use crate::query::{build_filter, StQuery};
+use crate::query::{build_filter_with, CoverBuffers, StQuery};
 use crate::report::QueryReport;
 use crate::{HILBERT_FIELD, LOCATION_FIELD};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use sts_cluster::{
     Cluster, ClusterConfig, ClusterQueryReport, FailPoint, HealthSnapshot, RecoveryPolicy,
 };
@@ -23,6 +23,10 @@ pub struct StStore {
     curve: Option<CurveGrid>,
     cluster: Cluster,
     profiler: Profiler,
+    /// Reusable Hilbert-decomposition buffers (interval-tree arena +
+    /// covering list). Queries take `&self`, hence the mutex; it is
+    /// uncontended in the single-router simulator.
+    cover: Mutex<CoverBuffers>,
 }
 
 impl StStore {
@@ -45,6 +49,33 @@ impl StStore {
             curve,
             cluster,
             profiler: Profiler::default(),
+            cover: Mutex::new(CoverBuffers::new()),
+        }
+    }
+
+    /// Replace the covering-range budget (per-query decompositions pick
+    /// it up immediately). Benchmarks use this to ablate budgets against
+    /// one loaded store instead of rebuilding it per configuration.
+    pub fn set_range_budget(&mut self, budget: sts_curve::RangeBudget) {
+        self.config.range_budget = budget;
+    }
+
+    /// Build the approach's filter for `query` using the store's
+    /// reusable decomposition buffers.
+    fn cover_filter(&self, query: &StQuery) -> (Filter, std::time::Duration, usize) {
+        if self.config.approach == Approach::StHash {
+            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
+        } else {
+            let mut cover = self
+                .cover
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            build_filter_with(
+                query,
+                self.curve.as_ref(),
+                self.config.range_budget,
+                &mut cover,
+            )
         }
     }
 
@@ -103,8 +134,13 @@ impl StStore {
     /// and the slow-query profiler.
     fn observe_query(&self, kind: QueryKind, query: StQuery, report: &QueryReport) {
         if self.curve.is_some() {
-            self.metrics_registry()
-                .record("query.covering", report.hilbert_time);
+            let obs = self.metrics_registry();
+            obs.record("query.covering", report.hilbert_time);
+            // Distribution of covering sizes, not just a running total:
+            // obs-report renders p50/p95/max so a budget regression (or a
+            // pathological query shape) is visible at a glance.
+            obs.histogram("query.covering_ranges")
+                .record_value(report.hilbert_ranges as u64);
         }
         self.profiler
             .observe(kind, self.config.approach, query, report);
@@ -191,11 +227,7 @@ impl StStore {
 
     /// Execute a spatio-temporal range query.
     pub fn st_query(&self, query: &StQuery) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = if self.config.approach == Approach::StHash {
-            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
-        } else {
-            build_filter(query, self.curve.as_ref(), self.config.range_budget)
-        };
+        let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
         let (docs, cluster) = self.cluster.query(&filter);
         let report = QueryReport {
             cluster,
@@ -239,13 +271,20 @@ impl StStore {
         t0: sts_document::DateTime,
         t1: sts_document::DateTime,
     ) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = crate::query::build_polygon_filter(
-            polygon,
-            t0,
-            t1,
-            self.curve.as_ref(),
-            self.config.range_budget,
-        );
+        let (filter, hilbert_time, hilbert_ranges) = {
+            let mut cover = self
+                .cover
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            crate::query::build_polygon_filter_with(
+                polygon,
+                t0,
+                t1,
+                self.curve.as_ref(),
+                self.config.range_budget,
+                &mut cover,
+            )
+        };
         let (docs, cluster) = self.cluster.query(&filter);
         let report = QueryReport {
             cluster,
@@ -265,11 +304,7 @@ impl StStore {
     /// The store-level filter a query translates to (for explain-style
     /// inspection and tests).
     pub fn filter_for(&self, query: &StQuery) -> Filter {
-        if self.config.approach == Approach::StHash {
-            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20)).0
-        } else {
-            build_filter(query, self.curve.as_ref(), self.config.range_budget).0
-        }
+        self.cover_filter(query).0
     }
 
     /// Run an arbitrary filter through the router.
@@ -284,11 +319,7 @@ impl StStore {
         query: &StQuery,
         options: &sts_query::FindOptions,
     ) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = if self.config.approach == Approach::StHash {
-            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
-        } else {
-            build_filter(query, self.curve.as_ref(), self.config.range_budget)
-        };
+        let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
         let (docs, cluster) = self.cluster.query_with_options(&filter, options);
         let report = QueryReport {
             cluster,
@@ -307,11 +338,7 @@ impl StStore {
         query: &StQuery,
         spec: &sts_query::GroupBy,
     ) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = if self.config.approach == Approach::StHash {
-            crate::sthash::build_filter(query, self.config.range_budget.max_ranges.min(1 << 20))
-        } else {
-            build_filter(query, self.curve.as_ref(), self.config.range_budget)
-        };
+        let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
         let (docs, cluster) = self.cluster.aggregate(&filter, spec);
         let report = QueryReport {
             cluster,

@@ -63,7 +63,10 @@ pub use api::StStore;
 pub use approach::Approach;
 pub use config::StoreConfig;
 pub use profiler::{ProfileEntry, Profiler, ProfilerConfig, QueryKind};
-pub use query::{build_filter, StQuery};
+pub use query::{
+    build_filter, build_filter_with, build_polygon_filter, build_polygon_filter_with, CoverBuffers,
+    StQuery,
+};
 pub use report::QueryReport;
 pub use sts_cluster::{
     FailPoint, FailPointMode, FaultKind, HealthSnapshot, RecoveryPolicy, ShardRecovery, Skew,

@@ -2,10 +2,26 @@
 
 use crate::{DATE_FIELD, HILBERT_FIELD, LOCATION_FIELD};
 use std::time::{Duration, Instant};
-use sts_curve::{CurveGrid, RangeBudget};
+use sts_curve::{CoveringScratch, CurveGrid, RangeBudget};
 use sts_document::{DateTime, Value};
 use sts_geo::GeoRect;
 use sts_query::Filter;
+
+/// Reusable Hilbert-decomposition buffers: the interval-tree arena plus
+/// the covering-range list. A store owns one so repeated queries reuse
+/// the same high-water-mark allocations instead of rebuilding them.
+#[derive(Default)]
+pub struct CoverBuffers {
+    scratch: CoveringScratch,
+    ranges: Vec<(u64, u64)>,
+}
+
+impl CoverBuffers {
+    /// Empty buffers; they grow to their high-water mark on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A spatio-temporal range query: "every point inside `rect` between
 /// `t0` and `t1`" (both endpoints inclusive, like the paper's
@@ -39,6 +55,18 @@ pub fn build_filter(
     curve: Option<&CurveGrid>,
     budget: RangeBudget,
 ) -> (Filter, Duration, usize) {
+    build_filter_with(query, curve, budget, &mut CoverBuffers::new())
+}
+
+/// [`build_filter`] with caller-owned decomposition buffers — the
+/// store's hot path threads one [`CoverBuffers`] through every query so
+/// the covering computation itself allocates nothing after warm-up.
+pub fn build_filter_with(
+    query: &StQuery,
+    curve: Option<&CurveGrid>,
+    budget: RangeBudget,
+    cover: &mut CoverBuffers,
+) -> (Filter, Duration, usize) {
     let mut clauses = vec![
         Filter::GeoWithin {
             path: LOCATION_FIELD.into(),
@@ -51,10 +79,11 @@ pub fn build_filter(
         None => (Duration::ZERO, 0),
         Some(grid) => {
             let start = Instant::now();
-            let ranges = grid.decompose_rect(&query.rect, budget);
+            cover.ranges.clear();
+            grid.decompose_rect_into(&query.rect, budget, &mut cover.scratch, &mut cover.ranges);
             let elapsed = start.elapsed();
-            let n = ranges.len();
-            clauses.push(hilbert_clause(&ranges));
+            let n = cover.ranges.len();
+            clauses.push(hilbert_clause(&cover.ranges));
             (elapsed, n)
         }
     };
@@ -72,6 +101,18 @@ pub fn build_polygon_filter(
     curve: Option<&CurveGrid>,
     budget: RangeBudget,
 ) -> (Filter, Duration, usize) {
+    build_polygon_filter_with(polygon, t0, t1, curve, budget, &mut CoverBuffers::new())
+}
+
+/// [`build_polygon_filter`] with caller-owned decomposition buffers.
+pub fn build_polygon_filter_with(
+    polygon: &sts_geo::GeoPolygon,
+    t0: DateTime,
+    t1: DateTime,
+    curve: Option<&CurveGrid>,
+    budget: RangeBudget,
+    cover: &mut CoverBuffers,
+) -> (Filter, Duration, usize) {
     let mut clauses = vec![
         Filter::GeoWithinPolygon {
             path: LOCATION_FIELD.into(),
@@ -84,10 +125,16 @@ pub fn build_polygon_filter(
         None => (Duration::ZERO, 0),
         Some(grid) => {
             let start = Instant::now();
-            let ranges = grid.decompose_rect(polygon.bbox(), budget);
+            cover.ranges.clear();
+            grid.decompose_rect_into(
+                polygon.bbox(),
+                budget,
+                &mut cover.scratch,
+                &mut cover.ranges,
+            );
             let elapsed = start.elapsed();
-            let n = ranges.len();
-            clauses.push(hilbert_clause(&ranges));
+            let n = cover.ranges.len();
+            clauses.push(hilbert_clause(&cover.ranges));
             (elapsed, n)
         }
     };

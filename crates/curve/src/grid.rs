@@ -167,6 +167,22 @@ impl CurveGrid {
         };
         decompose_blocks(self, x0, x1, y0, y1, budget)
     }
+
+    /// Like [`decompose_rect`](Self::decompose_rect), but appends the
+    /// ranges to `out` and reuses `scratch` — the allocation-free form
+    /// the query hot path uses.
+    pub fn decompose_rect_into(
+        &self,
+        rect: &GeoRect,
+        budget: RangeBudget,
+        scratch: &mut crate::CoveringScratch,
+        out: &mut Vec<(u64, u64)>,
+    ) {
+        let Some((x0, x1, y0, y1)) = self.cell_span(rect) else {
+            return;
+        };
+        crate::ranges::decompose_blocks_into(self, x0, x1, y0, y1, budget, scratch, out);
+    }
 }
 
 #[cfg(test)]

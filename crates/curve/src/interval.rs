@@ -1,0 +1,405 @@
+//! Augmented interval tree for covering-range coalescing.
+//!
+//! The block decomposition of a query rectangle emits aligned quadtree
+//! blocks in *visit* order, not curve order, and neighbouring blocks are
+//! frequently contiguous in index space. The old pipeline collected every
+//! raw block, sorted, and merged — O(n log n) with a full re-sort per
+//! query and no structure to reuse. This tree keeps the covering merged
+//! *as it is built*: each insert locates its neighbours, absorbs any
+//! stored interval that overlaps or is adjacent (`hi + 1 == lo` counts),
+//! and stores one coalesced interval, so an in-order walk yields the
+//! final sorted, disjoint, non-adjacent covering with no post-pass.
+//!
+//! Structurally this is a treap over `lo` (deterministic SplitMix64
+//! priorities keep it balanced without an RNG), augmented with the
+//! subtree-maximum endpoint `max_hi` — the classic interval-tree
+//! augmentation — which serves stabbing queries ([`IntervalTree::covers`])
+//! and prunes descents. Nodes live in an arena (`Vec` + free list) with
+//! `u32` links, so a cleared tree retains its capacity: the hot query
+//! path re-uses one tree per store and performs no steady-state heap
+//! allocation while building coverings.
+
+/// Sentinel child link.
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    lo: u64,
+    hi: u64,
+    /// Largest `hi` in this node's subtree (interval-tree augmentation).
+    max_hi: u64,
+    prio: u64,
+    left: u32,
+    right: u32,
+}
+
+/// A self-coalescing set of inclusive `u64` intervals.
+///
+/// Invariant: stored intervals are pairwise disjoint *and* non-adjacent
+/// (consecutive intervals satisfy `next.lo > cur.hi + 1`); inserts that
+/// would violate this are merged into one interval.
+///
+/// # Example
+///
+/// ```
+/// use sts_curve::IntervalTree;
+///
+/// let mut t = IntervalTree::new();
+/// t.insert(10, 15);
+/// t.insert(0, 3);
+/// t.insert(16, 20); // adjacent to (10, 15): merged
+/// assert_eq!(t.len(), 2);
+/// assert!(t.covers(18) && !t.covers(5));
+/// let mut out = Vec::new();
+/// t.drain_into(&mut out);
+/// assert_eq!(out, vec![(0, 3), (10, 20)]);
+/// ```
+#[derive(Default)]
+pub struct IntervalTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    seq: u64,
+    /// Reusable traversal stack for the in-order drain.
+    walk: Vec<u32>,
+}
+
+impl IntervalTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        IntervalTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+            seq: 0,
+            walk: Vec::new(),
+        }
+    }
+
+    /// Number of stored (coalesced) intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no intervals are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all intervals, retaining allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.walk.clear();
+        self.root = NIL;
+        self.len = 0;
+        self.seq = 0;
+    }
+
+    /// Insert `[lo, hi]` (inclusive, `lo <= hi`), merging with any stored
+    /// interval it overlaps or abuts. Amortized O(log n): every interval
+    /// absorbed here was inserted exactly once before.
+    pub fn insert(&mut self, lo: u64, hi: u64) {
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        let (mut lo, mut hi) = (lo, hi);
+        let (mut left, mut right) = self.split(self.root, lo);
+        // At most one interval entirely left of `lo` can touch us: the
+        // rightmost, since stored intervals are disjoint and sorted.
+        while let Some(p) = self.max_node(left) {
+            let n = &self.nodes[p as usize];
+            if n.hi.saturating_add(1) < lo {
+                break;
+            }
+            lo = lo.min(n.lo);
+            hi = hi.max(n.hi);
+            left = self.pop(left, p);
+        }
+        // A wide insert can swallow many intervals at or after `lo`.
+        while let Some(p) = self.min_node(right) {
+            let n = &self.nodes[p as usize];
+            if n.lo > hi.saturating_add(1) {
+                break;
+            }
+            hi = hi.max(n.hi);
+            right = self.pop(right, p);
+        }
+        let node = self.alloc(lo, hi);
+        let merged = self.merge(left, node);
+        self.root = self.merge(merged, right);
+        self.len += 1;
+    }
+
+    /// True when some stored interval contains `d` (stabbing query).
+    pub fn covers(&self, d: u64) -> bool {
+        let mut t = self.root;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if n.max_hi < d {
+                return false;
+            }
+            if d < n.lo {
+                t = n.left;
+            } else if d <= n.hi {
+                return true;
+            } else {
+                // Disjoint intervals: everything in the left subtree ends
+                // before `n.lo <= d`, so only the right can cover.
+                t = n.right;
+            }
+        }
+        false
+    }
+
+    /// Append the intervals to `out` in sorted order and clear the tree.
+    /// Reuses an internal stack: no allocation beyond `out`'s growth.
+    pub fn drain_into(&mut self, out: &mut Vec<(u64, u64)>) {
+        out.reserve(self.len);
+        self.walk.clear();
+        let mut t = self.root;
+        loop {
+            while t != NIL {
+                self.walk.push(t);
+                t = self.nodes[t as usize].left;
+            }
+            let Some(p) = self.walk.pop() else { break };
+            let n = &self.nodes[p as usize];
+            out.push((n.lo, n.hi));
+            t = n.right;
+        }
+        self.clear();
+    }
+
+    fn alloc(&mut self, lo: u64, hi: u64) -> u32 {
+        self.seq += 1;
+        let node = Node {
+            lo,
+            hi,
+            max_hi: hi,
+            prio: splitmix64(self.seq),
+            left: NIL,
+            right: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Recompute `max_hi` from children (call after children change).
+    fn pull(&mut self, t: u32) {
+        let (l, r, hi) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right, n.hi)
+        };
+        let mut m = hi;
+        if l != NIL {
+            m = m.max(self.nodes[l as usize].max_hi);
+        }
+        if r != NIL {
+            m = m.max(self.nodes[r as usize].max_hi);
+        }
+        self.nodes[t as usize].max_hi = m;
+    }
+
+    /// Split by `lo` key: intervals with `lo < key` left, rest right.
+    fn split(&mut self, t: u32, key: u64) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].lo < key {
+            let (a, b) = self.split(self.nodes[t as usize].right, key);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let (a, b) = self.split(self.nodes[t as usize].left, key);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    /// Merge two trees where every key in `a` precedes every key in `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let m = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let m = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Index of the minimum-`lo` node of subtree `t`, if any.
+    fn min_node(&self, t: u32) -> Option<u32> {
+        if t == NIL {
+            return None;
+        }
+        let mut t = t;
+        while self.nodes[t as usize].left != NIL {
+            t = self.nodes[t as usize].left;
+        }
+        Some(t)
+    }
+
+    /// Index of the maximum-`lo` node of subtree `t`, if any.
+    fn max_node(&self, t: u32) -> Option<u32> {
+        if t == NIL {
+            return None;
+        }
+        let mut t = t;
+        while self.nodes[t as usize].right != NIL {
+            t = self.nodes[t as usize].right;
+        }
+        Some(t)
+    }
+
+    /// Detach node `p` (a minimum or maximum of subtree `t`) and return
+    /// the new subtree root. `p`'s slot goes on the free list.
+    fn pop(&mut self, t: u32, p: u32) -> u32 {
+        let new_root = self.remove_rec(t, p);
+        self.free.push(p);
+        self.len -= 1;
+        new_root
+    }
+
+    fn remove_rec(&mut self, t: u32, p: u32) -> u32 {
+        debug_assert_ne!(t, NIL, "node to remove not found");
+        if t == p {
+            // Min/max nodes have at most one child.
+            let n = &self.nodes[t as usize];
+            return if n.left != NIL { n.left } else { n.right };
+        }
+        let target_lo = self.nodes[p as usize].lo;
+        if target_lo < self.nodes[t as usize].lo {
+            let sub = self.remove_rec(self.nodes[t as usize].left, p);
+            self.nodes[t as usize].left = sub;
+        } else {
+            let sub = self.remove_rec(self.nodes[t as usize].right, p);
+            self.nodes[t as usize].right = sub;
+        }
+        self.pull(t);
+        t
+    }
+}
+
+/// SplitMix64: deterministic, well-mixed treap priorities.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn drain(t: &mut IntervalTree) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn inserts_merge_overlaps_and_adjacency() {
+        let mut t = IntervalTree::new();
+        t.insert(10, 20);
+        t.insert(30, 40);
+        assert_eq!(t.len(), 2);
+        t.insert(21, 29); // bridges both neighbours
+        assert_eq!(t.len(), 1);
+        assert_eq!(drain(&mut t), vec![(10, 40)]);
+    }
+
+    #[test]
+    fn wide_insert_swallows_many() {
+        let mut t = IntervalTree::new();
+        for i in 0..50u64 {
+            t.insert(i * 10, i * 10 + 2);
+        }
+        assert_eq!(t.len(), 50);
+        t.insert(0, 1_000);
+        assert_eq!(t.len(), 1);
+        assert_eq!(drain(&mut t), vec![(0, 1_000)]);
+    }
+
+    #[test]
+    fn covers_stabbing() {
+        let mut t = IntervalTree::new();
+        t.insert(5, 9);
+        t.insert(100, 200);
+        assert!(t.covers(5) && t.covers(9) && t.covers(150));
+        assert!(!t.covers(4) && !t.covers(10) && !t.covers(201));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut t = IntervalTree::new();
+        for i in 0..100u64 {
+            t.insert(i * 3, i * 3 + 1);
+        }
+        let cap = t.nodes.capacity();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.nodes.capacity(), cap);
+        t.insert(1, 2);
+        assert_eq!(drain(&mut t), vec![(1, 2)]);
+    }
+
+    /// Reference implementation: sort + merge.
+    fn naive(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        v.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for (lo, hi) in v {
+            match out.last_mut() {
+                Some((_, ph)) if lo <= ph.saturating_add(1) => *ph = (*ph).max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn prop_matches_sort_merge(iv in prop::collection::vec((0u64..500, 0u64..16), 0..60)) {
+            let intervals: Vec<(u64, u64)> = iv.into_iter().map(|(lo, w)| (lo, lo + w)).collect();
+            let mut t = IntervalTree::new();
+            for &(lo, hi) in &intervals {
+                t.insert(lo, hi);
+            }
+            let got = drain(&mut t);
+            prop_assert_eq!(got, naive(intervals));
+        }
+
+        #[test]
+        fn prop_covers_agrees_with_contents(iv in prop::collection::vec((0u64..300, 0u64..8), 0..40), probe in 0u64..320) {
+            let mut t = IntervalTree::new();
+            for (lo, w) in &iv {
+                t.insert(*lo, lo + w);
+            }
+            let truth = iv.iter().any(|(lo, w)| (*lo..=lo + w).contains(&probe));
+            prop_assert_eq!(t.covers(probe), truth);
+        }
+    }
+}

@@ -37,10 +37,12 @@ pub mod locality;
 pub mod zorder;
 
 mod grid;
+mod interval;
 mod ranges;
 
 pub use grid::{CurveGrid, CurveKind};
-pub use ranges::{merge_ranges, RangeBudget};
+pub use interval::IntervalTree;
+pub use ranges::{merge_ranges, CoveringScratch, RangeBudget};
 
 /// The paper's curve precision: 13 bits per axis (§5.1 methodology).
 pub const PAPER_CURVE_ORDER: u32 = 13;

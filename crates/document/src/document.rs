@@ -3,27 +3,34 @@
 use crate::{ObjectId, Value};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// An ordered set of `(field, value)` pairs, like a BSON document.
 ///
 /// Field order is preserved (it matters for canonical comparison and for
 /// serialized size), and lookup is linear — documents in this workload have
 /// at most ~75 fields, where linear scans beat hashing.
+///
+/// Field storage is copy-on-write behind an [`Arc`]: `clone()` is a
+/// reference-count bump (the query hot path clones every fetched
+/// document out of the store's decoded cache), and the first mutation of
+/// a shared document copies the fields once. Readers never observe
+/// another handle's mutations.
 #[derive(Clone, PartialEq, Default)]
 pub struct Document {
-    fields: Vec<(String, Value)>,
+    fields: Arc<Vec<(String, Value)>>,
 }
 
 impl Document {
     /// Create an empty document.
     pub fn new() -> Self {
-        Document { fields: Vec::new() }
+        Document::default()
     }
 
     /// Create with pre-allocated capacity for `n` fields.
     pub fn with_capacity(n: usize) -> Self {
         Document {
-            fields: Vec::with_capacity(n),
+            fields: Arc::new(Vec::with_capacity(n)),
         }
     }
 
@@ -41,17 +48,18 @@ impl Document {
     pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
         let key = key.into();
         let value = value.into();
-        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == key) {
+        let fields = Arc::make_mut(&mut self.fields);
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
         } else {
-            self.fields.push((key, value));
+            fields.push((key, value));
         }
     }
 
     /// Remove a field, returning its value if present.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
         let idx = self.fields.iter().position(|(k, _)| k == key)?;
-        Some(self.fields.remove(idx).1)
+        Some(Arc::make_mut(&mut self.fields).remove(idx).1)
     }
 
     /// Get a top-level field.
@@ -100,8 +108,7 @@ impl Document {
         }
         let id = ObjectId::with_timestamp(ts_secs);
         // `_id` conventionally leads the document.
-        self.fields
-            .insert(0, ("_id".to_string(), Value::ObjectId(id)));
+        Arc::make_mut(&mut self.fields).insert(0, ("_id".to_string(), Value::ObjectId(id)));
         id
     }
 
@@ -120,7 +127,7 @@ impl Document {
 impl fmt::Debug for Document {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut m = f.debug_map();
-        for (k, v) in &self.fields {
+        for (k, v) in self.fields.iter() {
             m.entry(&format_args!("{k}"), v);
         }
         m.finish()
@@ -184,6 +191,17 @@ mod tests {
         assert_eq!(d.remove("a").unwrap().as_i64(), Some(1));
         assert!(d.remove("a").is_none());
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn clone_is_shared_until_mutation() {
+        let mut a = doc! {"x" => 1, "y" => 2};
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.fields, &b.fields), "clone shares storage");
+        a.set("x", 9i32);
+        assert!(!Arc::ptr_eq(&a.fields, &b.fields), "mutation copies");
+        assert_eq!(b.get("x").unwrap().as_i64(), Some(1));
+        assert_eq!(a.get("x").unwrap().as_i64(), Some(9));
     }
 
     #[test]

@@ -3,10 +3,40 @@
 use crate::bounds::ScanRange;
 use crate::extract::extract_key_values;
 use crate::spec::IndexSpec;
-use std::ops::ControlFlow;
-use sts_btree::{BTree, SizeReport};
+use std::ops::{Bound, ControlFlow};
+use sts_btree::{BTree, KeyBound, SizeReport};
 use sts_document::{Document, Value};
-use sts_encoding::{KeyReader, KeyWriter};
+use sts_encoding::{encode_value_into, KeyReader, KeyWriter};
+
+/// Reusable buffers for index scans.
+///
+/// Scans decode key values and build seek targets on every entry; with a
+/// scratch threaded in from the executor those buffers are reused across
+/// queries instead of reallocated per scan — part of the hot path's
+/// zero-allocation contract.
+#[derive(Default)]
+pub struct ScanScratch {
+    /// Decoded per-field key values handed to the scan closure.
+    values: Vec<Value>,
+    /// Seek-target key under construction (skip-scan jumps).
+    seek_key: Vec<u8>,
+}
+
+impl ScanScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Borrow an owned key bound for the batch cursor.
+fn as_ref_bound(b: &KeyBound) -> Bound<&[u8]> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.as_slice()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
 
 /// Statistics of one or more index scans.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -97,32 +127,44 @@ impl Index {
     pub fn scan_ranges<F: FnMut(&[Value], u64) -> ControlFlow<()>>(
         &self,
         ranges: &[ScanRange],
+        f: F,
+    ) -> ScanStats {
+        self.scan_ranges_with(&mut ScanScratch::new(), ranges, f)
+    }
+
+    /// [`scan_ranges`](Self::scan_ranges) with caller-owned scratch
+    /// buffers, serving the whole (sorted) batch of ranges through one
+    /// [`BatchCursor`](sts_btree::BatchCursor): the descent path is
+    /// reused across ranges sharing a node prefix, and the cursor
+    /// resumes forward instead of re-descending from the root.
+    pub fn scan_ranges_with<F: FnMut(&[Value], u64) -> ControlFlow<()>>(
+        &self,
+        scratch: &mut ScanScratch,
+        ranges: &[ScanRange],
         mut f: F,
     ) -> ScanStats {
-        let mut stats = ScanStats::default();
         let nfields = self.spec.fields.len();
-        let mut values: Vec<Value> = Vec::with_capacity(nfields);
-        for range in ranges {
-            stats.seeks += 1;
-            let mut it = self.tree.range(range.lower.clone(), range.upper.clone());
-            let mut broke = false;
-            for (key, rid) in it.by_ref() {
-                values.clear();
+        let mut cur = self.tree.batch_cursor();
+        'ranges: for range in ranges {
+            cur.seek(as_ref_bound(&range.lower));
+            let upper = as_ref_bound(&range.upper);
+            while let Some((key, rid)) = cur.next(upper) {
+                scratch.values.clear();
                 let mut r = KeyReader::new(key);
                 for _ in 0..nfields {
-                    values.push(r.next_value().expect("index key corrupt"));
+                    scratch
+                        .values
+                        .push(r.next_value().expect("index key corrupt"));
                 }
-                if f(&values, rid).is_break() {
-                    broke = true;
-                    break;
+                if f(&scratch.values, rid).is_break() {
+                    break 'ranges;
                 }
-            }
-            stats.keys_examined += it.keys_examined();
-            if broke {
-                break;
             }
         }
-        stats
+        ScanStats {
+            keys_examined: cur.keys_examined(),
+            seeks: cur.seeks(),
+        }
     }
 
     /// Skip-scan over a two-field compound index: scan `leading` while
@@ -140,49 +182,59 @@ impl Index {
         leading: &ScanRange,
         t_lo: &Value,
         t_hi: &Value,
+        f: F,
+    ) -> ScanStats {
+        self.skip_scan_2d_with(&mut ScanScratch::new(), leading, t_lo, t_hi, f)
+    }
+
+    /// [`skip_scan_2d`](Self::skip_scan_2d) with caller-owned scratch.
+    /// Every jump is a forward [`seek`](sts_btree::BatchCursor::seek) on
+    /// one batch cursor — the seek target is built in the reusable
+    /// scratch key buffer and the descent path is reused, rather than
+    /// cloning bounds and re-descending from the root per jump.
+    pub fn skip_scan_2d_with<F: FnMut(&[Value], u64) -> ControlFlow<()>>(
+        &self,
+        scratch: &mut ScanScratch,
+        leading: &ScanRange,
+        t_lo: &Value,
+        t_hi: &Value,
         mut f: F,
     ) -> ScanStats {
         use std::cmp::Ordering;
-        use std::ops::Bound;
 
-        let mut stats = ScanStats::default();
-        let mut lower = leading.lower.clone();
-        'seek: loop {
-            stats.seeks += 1;
-            let mut it = self.tree.range(lower.clone(), leading.upper.clone());
-            loop {
-                let Some((key, rid)) = it.next() else {
-                    stats.keys_examined += it.keys_examined();
-                    break 'seek;
-                };
-                let mut r = KeyReader::new(key);
-                let v0 = r.next_value().expect("index key corrupt");
-                let v1 = r.next_value().expect("index key corrupt");
-                if v1.canonical_cmp(t_lo) == Ordering::Less {
-                    // Jump forward to (v0, t_lo).
-                    let mut w = KeyWriter::new();
-                    w.push(&v0).push(t_lo);
-                    lower = Bound::Included(w.finish());
-                    stats.keys_examined += it.keys_examined();
-                    continue 'seek;
-                }
-                if v1.canonical_cmp(t_hi) == Ordering::Greater {
-                    // Jump past every remaining entry with this v0.
-                    let mut w = KeyWriter::new();
-                    w.push(&v0);
-                    let mut k = w.finish();
-                    k.extend_from_slice(&crate::bounds::EXCLUSIVE_TAIL);
-                    lower = Bound::Included(k);
-                    stats.keys_examined += it.keys_examined();
-                    continue 'seek;
-                }
-                if f(&[v0, v1], rid).is_break() {
-                    stats.keys_examined += it.keys_examined();
-                    break 'seek;
-                }
+        let mut cur = self.tree.batch_cursor();
+        cur.seek(as_ref_bound(&leading.lower));
+        let upper = as_ref_bound(&leading.upper);
+        while let Some((key, rid)) = cur.next(upper) {
+            let mut r = KeyReader::new(key);
+            let v0 = r.next_value().expect("index key corrupt");
+            let v1 = r.next_value().expect("index key corrupt");
+            if v1.canonical_cmp(t_lo) == Ordering::Less {
+                // Jump forward to (v0, t_lo).
+                scratch.seek_key.clear();
+                encode_value_into(&v0, &mut scratch.seek_key);
+                encode_value_into(t_lo, &mut scratch.seek_key);
+                cur.seek(Bound::Included(&scratch.seek_key));
+                continue;
+            }
+            if v1.canonical_cmp(t_hi) == Ordering::Greater {
+                // Jump past every remaining entry with this v0.
+                scratch.seek_key.clear();
+                encode_value_into(&v0, &mut scratch.seek_key);
+                scratch
+                    .seek_key
+                    .extend_from_slice(&crate::bounds::EXCLUSIVE_TAIL);
+                cur.seek(Bound::Included(&scratch.seek_key));
+                continue;
+            }
+            if f(&[v0, v1], rid).is_break() {
+                break;
             }
         }
-        stats
+        ScanStats {
+            keys_examined: cur.keys_examined(),
+            seeks: cur.seeks(),
+        }
     }
 
     /// Estimate entry count across the given ranges (planner support).

@@ -22,6 +22,6 @@ mod spec;
 
 pub use bounds::{key_for_values, ScanRange, EXCLUSIVE_TAIL};
 pub use extract::{extract_key_values, geo_point_of};
-pub use index::{Index, ScanStats};
+pub use index::{Index, ScanScratch, ScanStats};
 pub use manager::IndexManager;
 pub use spec::{FieldKind, IndexField, IndexSpec};

@@ -71,6 +71,15 @@ impl Histogram {
         self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
     }
 
+    /// Record one dimensionless value (a count, a size) by reusing the
+    /// nanosecond bucket lattice: a value of `n` lands where a duration
+    /// of `n` ns would. Readouts come back as [`Duration`]s whose
+    /// `as_nanos()` is the value — see
+    /// [`HistogramSnapshot::value_percentiles`].
+    pub fn record_value(&self, v: u64) {
+        self.record(Duration::from_nanos(v));
+    }
+
     /// Recordings so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -200,6 +209,22 @@ pub struct HistogramSnapshot {
     pub min: Duration,
     /// Largest recording.
     pub max: Duration,
+}
+
+impl HistogramSnapshot {
+    /// Read a value histogram (recorded via
+    /// [`Histogram::record_value`]) back as dimensionless numbers:
+    /// `(p50, p95, p99, mean, max)`.
+    pub fn value_percentiles(&self) -> (u64, u64, u64, u64, u64) {
+        let n = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        (
+            n(self.p50),
+            n(self.p95),
+            n(self.p99),
+            n(self.mean),
+            n(self.max),
+        )
+    }
 }
 
 /// Bucket index for a clamped nanosecond value.

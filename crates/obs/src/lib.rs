@@ -45,12 +45,14 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc;
 pub mod histogram;
 pub mod registry;
 pub mod span;
 pub mod stage;
 pub mod trace;
 
+pub use alloc::{AllocSpan, CountingAllocator};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{global, global_handle, Counter, Gauge, Registry, RegistrySnapshot};
 pub use span::Span;

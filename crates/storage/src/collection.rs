@@ -8,9 +8,19 @@ use sts_document::{decode_document, encode_document, Document};
 
 /// One shard's slice of a collection: serialized documents in a record
 /// heap, sized like a WiredTiger table.
+///
+/// Alongside the serialized heap the store keeps a decoded-document
+/// cache, one slot per record id — the analogue of WiredTiger's
+/// in-memory page images. Documents are decoded once at insert time;
+/// [`get`](CollectionStore::get) serves a copy-on-write clone (a
+/// reference-count bump), which is what makes the executor's fetch stage
+/// allocation-free. Size accounting ([`stats`](CollectionStore::stats))
+/// still measures the serialized heap only, so Table 6 numbers are
+/// unaffected.
 #[derive(Default)]
 pub struct CollectionStore {
     heap: RecordHeap,
+    decoded: Vec<Option<Document>>,
 }
 
 /// Size statistics for a collection store (Table 6's `dataSize` /
@@ -33,15 +43,19 @@ impl CollectionStore {
 
     /// Serialize and store a document.
     pub fn insert(&mut self, doc: &Document) -> RecordId {
-        self.heap.insert(encode_document(doc))
+        let bytes = encode_document(doc);
+        // Cache the decode of the stored bytes (not `doc` itself), so a
+        // cached fetch is indistinguishable from a cold decode.
+        let decoded = decode_document(&bytes).expect("document round-trip failed");
+        let id = self.heap.insert(bytes);
+        debug_assert_eq!(id as usize, self.decoded.len());
+        self.decoded.push(Some(decoded));
+        id
     }
 
-    /// Fetch and decode a document. Panics on internal corruption (the
-    /// store wrote these bytes itself).
+    /// Fetch a document: a copy-on-write clone of the cached decode.
     pub fn get(&self, id: RecordId) -> Option<Document> {
-        self.heap
-            .get(id)
-            .map(|b| decode_document(b).expect("stored document corrupt"))
+        self.decoded.get(id as usize)?.clone()
     }
 
     /// Raw serialized bytes of a document (cheaper than decoding when
@@ -52,9 +66,8 @@ impl CollectionStore {
 
     /// Remove a document, returning it decoded.
     pub fn remove(&mut self, id: RecordId) -> Option<Document> {
-        self.heap
-            .remove(id)
-            .map(|b| decode_document(&b).expect("stored document corrupt"))
+        self.heap.remove(id)?;
+        self.decoded.get_mut(id as usize)?.take()
     }
 
     /// Live document count.
@@ -69,9 +82,10 @@ impl CollectionStore {
 
     /// Iterate live `(id, decoded document)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, Document)> + '_ {
-        self.heap
+        self.decoded
             .iter()
-            .map(|(id, b)| (id, decode_document(b).expect("stored document corrupt")))
+            .enumerate()
+            .filter_map(|(id, d)| Some((id as RecordId, d.clone()?)))
     }
 
     /// Iterate live `(id, raw bytes)` pairs.
@@ -150,6 +164,25 @@ mod tests {
         assert_eq!(c.remove(id).unwrap(), d);
         assert!(c.get(id).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cached_fetch_matches_cold_decode() {
+        let mut c = CollectionStore::new();
+        let d = sample(7);
+        let id = c.insert(&d);
+        // The cached document must equal a decode of the raw bytes —
+        // byte-for-byte the same view a cacheless store would serve.
+        let cold = sts_document::decode_document(c.get_raw(id).unwrap()).unwrap();
+        assert_eq!(c.get(id).unwrap(), cold);
+        // Mutating a fetched copy never leaks back into the cache.
+        let mut fetched = c.get(id).unwrap();
+        fetched.set("vehicleId", "hacked");
+        assert_eq!(c.get(id).unwrap(), cold);
+        // Tombstoned slots serve nothing.
+        c.remove(id);
+        assert!(c.get(id).is_none());
+        assert!(c.iter().next().is_none());
     }
 
     #[test]
