@@ -1,0 +1,222 @@
+//! Ingest-throughput smoke bench: feed the fleet workload through the
+//! batched live-ingest path (`StStore::insert_batch`) with the live
+//! balancer enabled, per approach, and report sustained throughput,
+//! per-batch latency percentiles and the balancer's activity (splits,
+//! two-phase migrations committed/retried/aborted).
+//!
+//! This is *not* part of the bench-diff gate — ingest throughput is a
+//! new axis with its own schema (`sts-ingest/1`); the query-latency
+//! gate keeps running on `perfsmoke`, whose bulk-loaded stores are
+//! unaffected by idle ingest machinery.
+//!
+//! ```text
+//! cargo run -p sts-bench --release --bin ingestsmoke -- \
+//!     --scale 0.002 --batch 500 --json results/INGEST_ci.json
+//! ```
+
+use serde::Serialize;
+use std::time::Instant;
+use sts_bench::{save_json_to, utc_date_string, Dataset, HarnessConfig};
+use sts_core::{Approach, StQuery, StStore, StoreConfig};
+use sts_document::DateTime;
+use sts_obs::Histogram;
+use sts_workload::fleet::{FleetConfig, FleetStream};
+use sts_workload::queries::full_workload;
+use sts_workload::Record;
+
+/// Bump when the report layout changes incompatibly.
+const SCHEMA: &str = "sts-ingest/1";
+
+#[derive(Serialize)]
+struct IngestReport {
+    schema: String,
+    generated_at: String,
+    scale: f64,
+    shards: usize,
+    seed: u64,
+    batch_size: usize,
+    records: u64,
+    approaches: Vec<ApproachRow>,
+}
+
+#[derive(Serialize)]
+struct ApproachRow {
+    approach: String,
+    /// Documents ingested per second over the whole run (staging +
+    /// commits + live balancing, the realistic write-path cost).
+    ingest_docs_per_sec: f64,
+    /// Per-batch commit-to-commit latency percentiles, microseconds.
+    batch_p50_us: f64,
+    batch_p95_us: f64,
+    batch_p99_us: f64,
+    /// Total wall time of the ingest run, milliseconds.
+    ingest_ms: f64,
+    /// Live-balancer activity during ingest.
+    chunks: usize,
+    splits_observed: usize,
+    migrations_committed: u64,
+    migration_retries: u64,
+    migrations_aborted: u64,
+    /// Post-ingest verification: total matches over the paper's query
+    /// workload — identical across approaches, or the ingest path
+    /// dropped or duplicated records.
+    workload_results: u64,
+    doc_count: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = HarnessConfig::from_args(&args);
+    let mut batch_size = 500usize;
+    let mut json_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Option<String> {
+            if a == name {
+                it.next().cloned()
+            } else {
+                a.strip_prefix(&format!("{name}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = grab("--batch") {
+            batch_size = v.parse().expect("--batch takes an integer");
+        } else if let Some(v) = grab("--json") {
+            json_path = Some(v);
+        } else {
+            eprintln!("unknown arg: {a}");
+            std::process::exit(2);
+        }
+    }
+
+    let records = cfg.r_records(1);
+    let fleet = FleetConfig {
+        records,
+        vehicles: 500,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let queries: Vec<StQuery> = full_workload(dataset_start())
+        .into_iter()
+        .map(|(_, _, q)| q)
+        .collect();
+
+    println!(
+        "ingest smoke: {records} records, {} shards, batches of {batch_size}",
+        cfg.num_shards
+    );
+    println!(
+        "{:<6} {:>12} {:>10} {:>10} {:>10} {:>7} {:>6} {:>6} {:>6} {:>10}",
+        "appr",
+        "docs/s",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "chunks",
+        "moves",
+        "retry",
+        "abort",
+        "results"
+    );
+
+    let mut rows = Vec::new();
+    let mut expected_results: Option<u64> = None;
+    for approach in Approach::ALL {
+        let row = run_one(approach, &fleet, &cfg, batch_size, &queries);
+        match expected_results {
+            None => expected_results = Some(row.workload_results),
+            Some(want) => assert_eq!(
+                row.workload_results, want,
+                "{approach}: ingest path changed the workload's result total"
+            ),
+        }
+        println!(
+            "{:<6} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>7} {:>6} {:>6} {:>6} {:>10}",
+            row.approach,
+            row.ingest_docs_per_sec,
+            row.batch_p50_us,
+            row.batch_p95_us,
+            row.batch_p99_us,
+            row.chunks,
+            row.migrations_committed,
+            row.migration_retries,
+            row.migrations_aborted,
+            row.workload_results,
+        );
+        rows.push(row);
+    }
+
+    let report = IngestReport {
+        schema: SCHEMA.to_string(),
+        generated_at: utc_date_string(),
+        scale: cfg.scale,
+        shards: cfg.num_shards,
+        seed: cfg.seed,
+        batch_size,
+        records,
+        approaches: rows,
+    };
+    let path = json_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::PathBuf::from(format!("results/INGEST_{}.json", utc_date_string()))
+    });
+    save_json_to(&path, &report).expect("write ingest report");
+    println!("wrote {}", path.display());
+}
+
+fn dataset_start() -> DateTime {
+    DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0)
+}
+
+fn run_one(
+    approach: Approach,
+    fleet: &FleetConfig,
+    cfg: &HarnessConfig,
+    batch_size: usize,
+    queries: &[StQuery],
+) -> ApproachRow {
+    let mut store = StStore::new(StoreConfig {
+        approach,
+        num_shards: cfg.num_shards,
+        max_chunk_bytes: cfg.max_chunk_bytes(),
+        data_mbr: sts_bench::dataset_mbr(Dataset::R),
+        ..Default::default()
+    });
+    let chunks0 = store.cluster().chunk_map().len();
+
+    let batch_latency = Histogram::new();
+    let mut ingested = 0u64;
+    let start = Instant::now();
+    for batch in FleetStream::new(fleet, batch_size) {
+        let t0 = Instant::now();
+        ingested += store
+            .insert_batch(batch.iter().map(Record::to_document))
+            .expect("generated records are always ingestible");
+        batch_latency.record(t0.elapsed());
+    }
+    let ingest_wall = start.elapsed();
+
+    let mut workload_results = 0u64;
+    for q in queries {
+        let (docs, report) = store.st_query(q);
+        assert!(!report.cluster.partial, "no faults armed, never partial");
+        workload_results += docs.len() as u64;
+    }
+
+    let stats = store.cluster().migration_stats();
+    let snap = batch_latency.snapshot();
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    ApproachRow {
+        approach: approach.to_string(),
+        ingest_docs_per_sec: ingested as f64 / ingest_wall.as_secs_f64(),
+        batch_p50_us: us(snap.p50),
+        batch_p95_us: us(snap.p95),
+        batch_p99_us: us(snap.p99),
+        ingest_ms: ingest_wall.as_secs_f64() * 1e3,
+        chunks: store.cluster().chunk_map().len(),
+        splits_observed: store.cluster().chunk_map().len() - chunks0,
+        migrations_committed: stats.chunks_moved,
+        migration_retries: stats.migration_retries,
+        migrations_aborted: stats.migrations_aborted,
+        workload_results,
+        doc_count: store.doc_count(),
+    }
+}

@@ -27,6 +27,32 @@ impl Chunk {
     }
 }
 
+/// A rejected chunk split: the proposed key does not fall strictly
+/// inside the chunk's `(min, max)` range. Returned (not panicked) so a
+/// live balancer interleaved with migrations can route the error and
+/// keep running instead of aborting mid-rebalance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitError {
+    /// The rejected split key.
+    pub split_key: Vec<u8>,
+    /// The chunk's inclusive lower bound.
+    pub min: Vec<u8>,
+    /// The chunk's exclusive upper bound (`None` = +∞).
+    pub max: Option<Vec<u8>>,
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "split key {:02x?} outside chunk [{:02x?}, {:?})",
+            self.split_key, self.min, self.max
+        )
+    }
+}
+
+impl std::error::Error for SplitError {}
+
 /// The cluster's routing table: chunks sorted by `min`, covering the
 /// whole key space without gaps.
 #[derive(Clone, Debug, Default)]
@@ -88,16 +114,22 @@ impl ChunkMap {
         start..end.max(start + 1)
     }
 
-    /// Split the chunk at `idx` at `split_key` (must be strictly inside
-    /// the chunk's range). Both halves stay on the same shard; counters
-    /// split proportionally (re-estimated on subsequent inserts).
-    pub fn split(&mut self, idx: usize, split_key: Vec<u8>) {
+    /// Split the chunk at `idx` at `split_key`. The key must fall
+    /// strictly inside the chunk's range; an out-of-range key is
+    /// rejected with a [`SplitError`] and the map is left untouched.
+    /// Both halves stay on the same shard; counters split
+    /// proportionally (re-estimated on subsequent inserts).
+    pub fn split(&mut self, idx: usize, split_key: Vec<u8>) -> Result<(), SplitError> {
         let c = &mut self.chunks[idx];
-        assert!(
-            split_key.as_slice() > c.min.as_slice()
-                && c.max.as_deref().is_none_or(|m| split_key.as_slice() < m),
-            "split key outside chunk"
-        );
+        if split_key.as_slice() <= c.min.as_slice()
+            || c.max.as_deref().is_some_and(|m| split_key.as_slice() >= m)
+        {
+            return Err(SplitError {
+                split_key,
+                min: c.min.clone(),
+                max: c.max.clone(),
+            });
+        }
         let right = Chunk {
             min: split_key.clone(),
             max: c.max.take(),
@@ -111,6 +143,13 @@ impl ChunkMap {
         c.docs -= right.docs;
         c.jumbo = false;
         self.chunks.insert(idx + 1, right);
+        Ok(())
+    }
+
+    /// Reassign chunk `idx` to `shard` — the routing-table flip that
+    /// commits a migration.
+    pub fn assign(&mut self, idx: usize, shard: usize) {
+        self.chunks[idx].shard = shard;
     }
 
     /// Ensure boundaries exist at every given key (splitting chunks as
@@ -122,7 +161,8 @@ impl ChunkMap {
             }
             let idx = self.route(b);
             if self.chunks[idx].min != *b {
-                self.split(idx, b.clone());
+                self.split(idx, b.clone())
+                    .expect("routed boundary lies inside its chunk");
             }
         }
     }
@@ -156,8 +196,8 @@ mod tests {
     #[test]
     fn split_and_route() {
         let mut m = ChunkMap::new_single(0);
-        m.split(0, k(100));
-        m.split(0, k(50));
+        m.split(0, k(100)).unwrap();
+        m.split(0, k(50)).unwrap();
         assert_eq!(m.len(), 3);
         assert_eq!(m.route(&k(10)), 0);
         assert_eq!(m.route(&k(50)), 1);
@@ -173,8 +213,8 @@ mod tests {
     #[test]
     fn overlapping_ranges() {
         let mut m = ChunkMap::new_single(0);
-        m.split(0, k(100));
-        m.split(0, k(50));
+        m.split(0, k(100)).unwrap();
+        m.split(0, k(50)).unwrap();
         assert_eq!(m.overlapping(&k(0), Some(&k(49))), 0..1);
         assert_eq!(m.overlapping(&k(0), Some(&k(60))), 0..2);
         assert_eq!(m.overlapping(&k(55), Some(&k(60))), 1..2);
@@ -194,18 +234,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "split key outside chunk")]
-    fn split_outside_panics() {
+    fn split_outside_is_rejected() {
         let mut m = ChunkMap::new_single(0);
-        m.split(0, k(100));
-        m.split(1, k(50));
+        m.split(0, k(100)).unwrap();
+        // k(50) lies in chunk 0, not chunk 1: rejected, map untouched.
+        let err = m.split(1, k(50)).unwrap_err();
+        assert_eq!(err.split_key, k(50));
+        assert_eq!(err.min, k(100));
+        assert_eq!(err.max, None);
+        assert_eq!(m.len(), 2);
+        // Splitting exactly at a boundary is rejected too (no-op split).
+        assert!(m.split(1, k(100)).is_err());
+        assert!(m.split(0, k(100)).is_err());
+        assert!(!format!("{err}").is_empty());
     }
 
     #[test]
     fn counts_per_shard() {
         let mut m = ChunkMap::new_single(1);
-        m.split(0, k(10));
-        m.chunks_mut()[1].shard = 0;
+        m.split(0, k(10)).unwrap();
+        m.assign(1, 0);
         assert_eq!(m.counts_per_shard(3), vec![1, 1, 0]);
     }
 }

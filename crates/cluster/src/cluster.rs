@@ -1,8 +1,8 @@
 //! The cluster: shards + routing table + balancer + mongos front-end.
 
 use crate::chunk::ChunkMap;
-use crate::faults::{FailPoint, FaultInjector};
-use crate::health::{BalancerEventKind, ClusterHealth, HealthSnapshot};
+use crate::faults::{AttemptCtx, FailPoint, FaultInjector, FaultKind};
+use crate::health::{skew, BalancerEventKind, ClusterHealth, HealthSnapshot};
 use crate::report::{ClusterQueryReport, ShardExecution};
 use crate::retry::{run_with_recovery, RecoveryPolicy, ShardRecovery};
 use crate::shard::Shard;
@@ -10,6 +10,7 @@ use crate::shardkey::{ShardKey, ShardStrategy};
 use crate::zones::{zones_from_boundaries, Zone};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use sts_btree::SizeReport;
@@ -34,6 +35,8 @@ pub struct ClusterConfig {
     pub recovery: RecoveryPolicy,
     /// Seed for the failpoint registry's deterministic draws.
     pub fault_seed: u64,
+    /// Live-balancer policy applied at every batch commit.
+    pub balancer: LiveBalancerConfig,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +47,41 @@ impl Default for ClusterConfig {
             planner: Planner::default(),
             recovery: RecoveryPolicy::default(),
             fault_seed: 0x5EED_FA17,
+            balancer: LiveBalancerConfig::default(),
+        }
+    }
+}
+
+/// Policy for the live balancer that runs at batch-commit time,
+/// turning the health ledger's chunk-heat and document-skew signals
+/// into splits and migrations while ingest is in flight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LiveBalancerConfig {
+    /// Master switch. Off reduces [`Cluster::commit_batch`] to the
+    /// epoch publish alone.
+    pub enabled: bool,
+    /// Split the hottest chunk when it absorbed more than this share of
+    /// all chunk-routing decisions (query heat, PR-3 ledger).
+    pub heat_split_ratio: f64,
+    /// Minimum routed-query observations before heat splitting engages
+    /// (avoids reacting to the first few queries).
+    pub heat_min_queries: u64,
+    /// Migrate from the document-heaviest shard while the per-shard
+    /// document Gini coefficient exceeds this.
+    pub docs_gini_threshold: f64,
+    /// Upper bound on skew-driven migrations per commit — the balancer
+    /// does bounded work per batch so ingest latency stays predictable.
+    pub max_moves_per_round: usize,
+}
+
+impl Default for LiveBalancerConfig {
+    fn default() -> Self {
+        LiveBalancerConfig {
+            enabled: true,
+            heat_split_ratio: 0.5,
+            heat_min_queries: 16,
+            docs_gini_threshold: 0.4,
+            max_moves_per_round: 2,
         }
     }
 }
@@ -59,6 +97,10 @@ pub struct Cluster {
     migrations: MigrationStats,
     faults: FaultInjector,
     health: ClusterHealth,
+    /// The shared committed-epoch counter every shard's collection is
+    /// bound to. One atomic store here is the cluster-wide commit point
+    /// of a staged ingest batch.
+    epoch: Arc<AtomicU64>,
     /// Metric sink for router/shard observables. Defaults to the
     /// process-wide registry; [`Cluster::set_metrics_registry`] rescopes
     /// the whole deployment (router + every shard) onto a private one.
@@ -68,10 +110,15 @@ pub struct Cluster {
 /// Balancer bookkeeping: how much data the cluster has shuffled.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MigrationStats {
-    /// Chunk migrations performed.
+    /// Chunk migrations performed (committed; aborted ones don't count).
     pub chunks_moved: u64,
     /// Documents physically moved between shards.
     pub docs_moved: u64,
+    /// Migration attempts retried after a transient mid-transfer fault.
+    pub migration_retries: u64,
+    /// Migrations rolled back for good (hard failure, or transient
+    /// faults exhausting the retry budget). The chunk stayed put.
+    pub migrations_aborted: u64,
 }
 
 impl Cluster {
@@ -120,9 +167,15 @@ impl Cluster {
                 name
             }
         };
-        let shards = (0..config.num_shards)
+        let mut shards: Vec<Shard> = (0..config.num_shards)
             .map(|id| Shard::new(id, &index_specs))
             .collect();
+        // Bind every shard to one committed-epoch counter so a staged
+        // batch spanning shards commits at a single atomic store.
+        let epoch = shards[0].collection().share_epoch();
+        for shard in shards.iter_mut().skip(1) {
+            shard.collection_mut().set_epoch_handle(Arc::clone(&epoch));
+        }
         let faults = FaultInjector::new(config.fault_seed);
         let health = ClusterHealth::new(config.num_shards);
         Cluster {
@@ -135,6 +188,7 @@ impl Cluster {
             migrations: MigrationStats::default(),
             faults,
             health,
+            epoch,
             obs: sts_obs::global_handle(),
         }
     }
@@ -257,6 +311,162 @@ impl Cluster {
         Ok(n)
     }
 
+    /// The committed epoch — the snapshot queries starting now read at.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Stage one document into the in-flight ingest batch: routed and
+    /// physically inserted (stored + indexed, chunk counters bumped)
+    /// but stamped `committed + 1`, so concurrent snapshot readers do
+    /// not see it until [`commit_batch`](Self::commit_batch). Returns
+    /// the `(shard, record id)` the document landed on, which
+    /// [`ingest`](Self::ingest) uses to roll a failed batch back.
+    pub fn stage(&mut self, doc: &Document) -> Result<(usize, u64), String> {
+        let key = self.shard_key.key_bytes(doc);
+        let cidx = self.chunks.route(&key);
+        let shard_id = self.chunks.chunks()[cidx].shard;
+        let epoch = self.snapshot_epoch() + 1;
+        let rid = self.shards[shard_id]
+            .collection_mut()
+            .insert_at_epoch(doc, epoch)?;
+        let size = encoded_size(doc) as u64;
+        let c = &mut self.chunks.chunks_mut()[cidx];
+        c.bytes += size;
+        c.docs += 1;
+        self.obs.counter("ingest.docs").inc();
+        Ok((shard_id, rid))
+    }
+
+    /// Publish the in-flight batch: one atomic store on the shared
+    /// epoch counter flips every staged record — on every shard —
+    /// visible at once, then the live balancer reacts to the new state.
+    /// A scan overlapping the commit observes the batch entirely or
+    /// not at all, never a torn prefix.
+    pub fn commit_batch(&mut self) {
+        let next = self.snapshot_epoch() + 1;
+        self.epoch.store(next, Ordering::Release);
+        self.obs.counter("ingest.batches").inc();
+        self.maybe_rebalance();
+    }
+
+    /// Batched concurrent ingest: stage every document, then commit.
+    /// All-or-nothing — if any document fails validation the batch's
+    /// staged records are physically removed (they were never visible)
+    /// and the epoch does not advance. Returns the number ingested.
+    pub fn ingest<I: IntoIterator<Item = Document>>(&mut self, docs: I) -> Result<u64, String> {
+        let mut staged: Vec<(usize, u64, Document)> = Vec::new();
+        for doc in docs {
+            match self.stage(&doc) {
+                Ok((shard, rid)) => staged.push((shard, rid, doc)),
+                Err(e) => {
+                    for (shard, rid, doc) in staged.drain(..) {
+                        self.shards[shard].collection_mut().remove(rid);
+                        let cidx = self.chunks.route(&self.shard_key.key_bytes(&doc));
+                        let c = &mut self.chunks.chunks_mut()[cidx];
+                        c.docs = c.docs.saturating_sub(1);
+                        c.bytes = c.bytes.saturating_sub(encoded_size(&doc) as u64);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let n = staged.len() as u64;
+        self.commit_batch();
+        Ok(n)
+    }
+
+    /// The live balancer, run at every batch commit: size splits for
+    /// overflowing chunks, a heat split when the health ledger shows
+    /// one chunk absorbing most of the query routing, then bounded
+    /// skew-driven migrations (chunk-count spread + document Gini).
+    fn maybe_rebalance(&mut self) {
+        if !self.config.balancer.enabled {
+            return;
+        }
+        // 1. Size splits — same overflow rule the synchronous insert
+        // path applies, swept across the whole map because staging
+        // defers them to the commit point.
+        while let Some(cidx) = self
+            .chunks
+            .chunks()
+            .iter()
+            .position(|c| c.bytes > self.config.max_chunk_bytes && !c.jumbo)
+        {
+            self.try_split(cidx);
+        }
+        // 2. Heat split: one chunk soaking up more than the configured
+        // share of routing decisions gets split so its halves can then
+        // migrate apart.
+        let policy = self.config.balancer;
+        let snap = self.health_snapshot();
+        let total_heat: u64 = snap.chunks.iter().map(|c| c.queries_routed).sum();
+        if total_heat >= policy.heat_min_queries {
+            if let Some(hot) = snap.hottest_chunks(1).first() {
+                let share = hot.queries_routed as f64 / total_heat as f64;
+                if share > policy.heat_split_ratio && !hot.jumbo {
+                    if let Some(cidx) = self.chunks.chunks().iter().position(|c| c.min == hot.min) {
+                        self.try_split(cidx);
+                    }
+                }
+            }
+        }
+        // 3. Chunk-count spread, as the background balancer round.
+        self.balance();
+        // 4. Document-skew migrations: while the per-shard document
+        // Gini stays above threshold, move chunks off the heaviest
+        // shard — bounded per round so a commit does bounded work.
+        let mut moves = 0usize;
+        while moves < policy.max_moves_per_round {
+            let docs: Vec<u64> = self.docs_per_shard().iter().map(|&d| d as u64).collect();
+            if skew(&docs).gini < policy.docs_gini_threshold {
+                break;
+            }
+            let donor = (0..docs.len()).max_by_key(|&i| docs[i]).unwrap();
+            let recipient = (0..docs.len()).min_by_key(|&i| docs[i]).unwrap();
+            if donor == recipient {
+                break;
+            }
+            let donor_chunks: Vec<usize> = (0..self.chunks.len())
+                .filter(|&i| self.chunks.chunks()[i].shard == donor)
+                .collect();
+            let idx = match donor_chunks.len() {
+                0 => break,
+                1 => {
+                    // A one-chunk donor must split before it can shed
+                    // load; a jumbo chunk cannot, so give up.
+                    let only = donor_chunks[0];
+                    self.try_split(only);
+                    if self.chunks.chunks()[only].jumbo {
+                        break;
+                    }
+                    only + 1
+                }
+                _ => *donor_chunks.last().unwrap(),
+            };
+            if !self.migrate(idx, recipient) {
+                break;
+            }
+            moves += 1;
+        }
+    }
+
+    /// Split chunk `cidx` at its median shard key (public hook for
+    /// schedule-driven tests; jumbo marking applies as usual).
+    pub fn split_chunk(&mut self, cidx: usize) {
+        assert!(cidx < self.chunks.len(), "chunk index out of range");
+        self.try_split(cidx);
+    }
+
+    /// Migrate chunk `cidx` to shard `dst` through the fault-aware
+    /// two-phase protocol. Returns whether the migration committed
+    /// (`false` = rolled back; the chunk stayed on its donor).
+    pub fn migrate_chunk(&mut self, cidx: usize, dst: usize) -> bool {
+        assert!(cidx < self.chunks.len(), "chunk index out of range");
+        assert!(dst < self.config.num_shards, "shard out of range");
+        self.migrate(cidx, dst)
+    }
+
     /// Split an oversized chunk at its median shard key.
     fn try_split(&mut self, cidx: usize) {
         let (min, max, shard_id) = {
@@ -289,8 +499,15 @@ impl Cluster {
             self.mark_jumbo(cidx);
             return;
         }
+        // A rejected split (key outside the chunk after a concurrent
+        // map change) is routed, not fatal: the chunk is left whole
+        // and flagged jumbo so the balancer stops retrying it.
+        if self.chunks.split(cidx, split).is_err() {
+            self.mark_jumbo(cidx);
+            return;
+        }
         self.health.record_event(min, BalancerEventKind::Split);
-        self.chunks.split(cidx, split);
+        self.obs.counter("balancer.splits").inc();
     }
 
     /// Flag a chunk as unsplittable and log the event.
@@ -320,7 +537,12 @@ impl Cluster {
                             .find(|z| z.contains(&self.chunks.chunks()[idx].min))
                             .unwrap()
                             .shard;
-                        self.migrate(idx, dst);
+                        if !self.migrate(idx, dst) {
+                            // Migration rolled back (injected fault);
+                            // leave enforcement to a later round rather
+                            // than spinning on the same chunk.
+                            break;
+                        }
                     }
                     None => break,
                 }
@@ -347,36 +569,106 @@ impl Cluster {
                 .iter()
                 .rposition(|c| c.shard == max_shard)
                 .expect("max shard has chunks");
-            self.migrate(idx, min_shard);
+            if !self.migrate(idx, min_shard) {
+                break;
+            }
         }
     }
 
-    /// Move one chunk's documents to another shard.
-    fn migrate(&mut self, chunk_idx: usize, dst: usize) {
+    /// Move one chunk's documents to another shard through a two-phase
+    /// protocol that survives injected faults:
+    ///
+    /// 1. **Copy**: every record in the chunk's key range is inserted on
+    ///    the recipient, *preserving its insert-epoch stamp* (a staged
+    ///    document stays staged on the new shard).
+    /// 2. **Commit or roll back**: the transfer then draws from the
+    ///    failpoint registry. A transient fault rolls the copies back
+    ///    and retries (up to the recovery policy's retry budget); a hard
+    ///    failure rolls back and aborts. On success the originals are
+    ///    deleted and the routing table flips ownership — the only point
+    ///    where queries start routing the range to the recipient.
+    ///
+    /// Returns whether the migration committed. Aborted migrations
+    /// leave the cluster exactly as before (no lost or duplicated
+    /// records) and count in `migrations_aborted`, not `chunks_moved`.
+    fn migrate(&mut self, chunk_idx: usize, dst: usize) -> bool {
         let (min, max, src) = {
             let c = &self.chunks.chunks()[chunk_idx];
             (c.min.clone(), c.max.clone(), c.shard)
         };
         if src == dst {
-            return;
+            return true;
         }
-        let docs = self.shards[src].extract_range(&self.shard_key_index, &min, max.as_deref());
-        self.migrations.chunks_moved += 1;
-        self.migrations.docs_moved += docs.len() as u64;
+        let start = Instant::now();
+        let records =
+            self.shards[src].records_in_key_range(&self.shard_key_index, &min, max.as_deref());
+        let migration_id = self.faults.begin_query();
+        let max_attempts = 1 + self.config.recovery.max_retries;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.migrations.migration_retries += 1;
+                self.obs.counter("balancer.migration_retries").inc();
+            }
+            // Phase 1: copy. Epoch stamps ride along so a staged batch
+            // straddling the migration still commits atomically.
+            let mut copied = Vec::with_capacity(records.len());
+            for (_, doc, epoch) in &records {
+                let rid = self.shards[dst]
+                    .collection_mut()
+                    .insert_at_epoch(doc, *epoch)
+                    .expect("migrated documents were already validated");
+                copied.push(rid);
+            }
+            // Phase 2: the transfer itself may fault.
+            let fault = self.faults.draw(&AttemptCtx {
+                query_id: migration_id,
+                shard: src,
+                attempt,
+                replica: false,
+            });
+            match fault {
+                Some(FaultKind::TransientError) | Some(FaultKind::HardFailure) => {
+                    // Mid-transfer loss: undo the copies. The donor
+                    // still holds every original, so no record is lost;
+                    // removing the copies means none is duplicated.
+                    for rid in copied {
+                        self.shards[dst].collection_mut().remove(rid);
+                    }
+                    if matches!(fault, Some(FaultKind::HardFailure)) {
+                        break; // node down: retrying cannot help
+                    }
+                    continue;
+                }
+                // Injected latency is virtual time: the transfer is
+                // slow, not wrong.
+                Some(FaultKind::Latency(_)) | None => {}
+            }
+            // Commit: drop the originals, flip routing-table ownership.
+            for (rid, _, _) in &records {
+                self.shards[src].collection_mut().remove(*rid);
+            }
+            self.chunks.assign(chunk_idx, dst);
+            self.migrations.chunks_moved += 1;
+            self.migrations.docs_moved += records.len() as u64;
+            self.health.record_event(
+                min,
+                BalancerEventKind::Migrate {
+                    from: src,
+                    to: dst,
+                    docs: records.len() as u64,
+                },
+            );
+            self.obs.counter("balancer.migrations").inc();
+            self.obs.record("balancer.migrations", start.elapsed());
+            return true;
+        }
+        self.migrations.migrations_aborted += 1;
+        self.obs.counter("balancer.migrations_aborted").inc();
         self.health.record_event(
-            min.clone(),
-            BalancerEventKind::Migrate {
-                from: src,
-                to: dst,
-                docs: docs.len() as u64,
-            },
+            min,
+            BalancerEventKind::MigrateAborted { from: src, to: dst },
         );
-        for d in &docs {
-            self.shards[dst]
-                .insert(d)
-                .expect("migrated documents were already validated");
-        }
-        self.chunks.chunks_mut()[chunk_idx].shard = dst;
+        false
     }
 
     /// Balancer bookkeeping so far.

@@ -55,6 +55,14 @@ pub enum BalancerEventKind {
         /// Documents moved.
         docs: u64,
     },
+    /// A migration rolled back after exhausting its fault-retry budget
+    /// (the chunk stayed on its donor; no documents moved).
+    MigrateAborted {
+        /// Donor shard the chunk stayed on.
+        from: usize,
+        /// Intended recipient.
+        to: usize,
+    },
     /// A chunk was marked jumbo (unsplittable at one shard key).
     Jumbo,
 }

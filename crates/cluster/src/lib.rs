@@ -18,7 +18,15 @@
 //!   ([`faults`]) injects per-shard latency, transient errors and hard
 //!   failures; the router recovers via per-shard timeouts, bounded
 //!   backoff retries and hedged reads to a replica ([`retry`]), and the
-//!   query report records every retry, hedge and timeout.
+//!   query report records every retry, hedge and timeout,
+//! * **live ingestion** — a batched write-while-read path
+//!   ([`Cluster::stage`] / [`Cluster::ingest`]): staged documents are
+//!   stored and indexed immediately but stamped one epoch ahead of the
+//!   committed snapshot, so concurrent scans observe a batch entirely
+//!   or not at all; [`Cluster::commit_batch`] publishes the epoch with
+//!   one atomic store and then runs a *live balancer* that turns the
+//!   health ledger's chunk-heat/Gini signals into splits and two-phase,
+//!   fault-tolerant chunk migrations (copy, then commit-or-roll-back).
 
 //! # Example
 //!
@@ -57,8 +65,8 @@ mod shard;
 mod shardkey;
 mod zones;
 
-pub use chunk::{Chunk, ChunkMap};
-pub use cluster::{Cluster, ClusterConfig, MigrationStats};
+pub use chunk::{Chunk, ChunkMap, SplitError};
+pub use cluster::{Cluster, ClusterConfig, LiveBalancerConfig, MigrationStats};
 pub use faults::{AttemptCtx, FailPoint, FailPointMode, FaultInjector, FaultKind};
 pub use health::{
     skew, BalancerEvent, BalancerEventKind, ChunkHeatSnapshot, HealthSnapshot, ShardLoadSnapshot,

@@ -44,6 +44,13 @@ impl Shard {
         self.collection.insert(doc).map(|_| ())
     }
 
+    /// Insert a document carrying an explicit insert-epoch stamp — the
+    /// recipient side of a chunk migration uses this so staged records
+    /// stay staged (invisible) after crossing shards.
+    pub fn insert_at_epoch(&mut self, doc: &Document, epoch: u64) -> Result<u64, String> {
+        self.collection.insert_at_epoch(doc, epoch)
+    }
+
     /// Live document count.
     pub fn len(&self) -> usize {
         self.collection.len()
@@ -107,6 +114,26 @@ impl Shard {
             .into_iter()
             .filter_map(|rid| self.collection.get(rid))
             .map(|doc| shard_key.key_bytes(&doc))
+            .collect()
+    }
+
+    /// Non-destructive read of every record in the key range with its
+    /// record id and insert-epoch stamp — the copy phase of a two-phase
+    /// chunk migration. The donor keeps everything until the commit
+    /// phase deletes by these record ids.
+    pub fn records_in_key_range(
+        &self,
+        index_name: &str,
+        min: &[u8],
+        max: Option<&[u8]>,
+    ) -> Vec<(u64, Document, u64)> {
+        self.record_ids_in_key_range(index_name, min, max)
+            .into_iter()
+            .filter_map(|rid| {
+                let doc = self.collection.get(rid)?;
+                let epoch = self.collection.epoch_of(rid)?;
+                Some((rid, doc, epoch))
+            })
             .collect()
     }
 

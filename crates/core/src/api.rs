@@ -40,6 +40,7 @@ impl StStore {
                 planner: config.planner,
                 recovery: config.recovery,
                 fault_seed: config.fault_seed,
+                balancer: config.balancer,
             },
             config.approach.shard_key(),
             config.approach.index_specs(config.geo_bits),
@@ -192,19 +193,18 @@ impl StStore {
         self.cluster.set_recovery_policy(policy);
     }
 
-    /// Augment (for Hilbert methods) and insert one document.
-    ///
-    /// The document must carry a GeoJSON point under `location` and a
-    /// datetime under `date`; the Hilbert methods add the 1D value as a
-    /// new `hilbertIndex` field (§4.2.1) before routing.
-    pub fn insert(&mut self, mut doc: Document) -> Result<(), String> {
+    /// Augment one document with the approach's derived fields: the
+    /// Hilbert methods add the 1D curve value as `hilbertIndex`
+    /// (§4.2.1), StHash its composite hash. Shared by the synchronous
+    /// insert path and the batched ingest path.
+    fn augment(&self, doc: &mut Document) -> Result<(), String> {
         if let Some(grid) = &self.curve {
-            let p = geo_point_of(&doc, LOCATION_FIELD)
+            let p = geo_point_of(doc, LOCATION_FIELD)
                 .ok_or_else(|| "document lacks a valid GeoJSON location".to_string())?;
             doc.set(HILBERT_FIELD, grid.index_of(p) as i64);
         }
         if self.config.approach == Approach::StHash {
-            let p = geo_point_of(&doc, LOCATION_FIELD)
+            let p = geo_point_of(doc, LOCATION_FIELD)
                 .ok_or_else(|| "document lacks a valid GeoJSON location".to_string())?;
             let t = doc
                 .get(crate::DATE_FIELD)
@@ -212,6 +212,16 @@ impl StStore {
                 .ok_or_else(|| "document lacks a datetime `date` field".to_string())?;
             doc.set(crate::sthash::STHASH_FIELD, crate::sthash::sthash_of(p, t));
         }
+        Ok(())
+    }
+
+    /// Augment (for Hilbert methods) and insert one document.
+    ///
+    /// The document must carry a GeoJSON point under `location` and a
+    /// datetime under `date`; the Hilbert methods add the 1D value as a
+    /// new `hilbertIndex` field (§4.2.1) before routing.
+    pub fn insert(&mut self, mut doc: Document) -> Result<(), String> {
+        self.augment(&mut doc)?;
         self.cluster.insert(&doc)
     }
 
@@ -223,6 +233,51 @@ impl StStore {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Batched concurrent ingest: augment and stage every document,
+    /// then commit the batch with one atomic epoch publish — queries
+    /// racing the batch see all of it or none of it. The live balancer
+    /// (splits + fault-tolerant migrations) runs at the commit point.
+    /// Returns how many documents were ingested; on error the batch is
+    /// rolled back and nothing becomes visible.
+    pub fn insert_batch<I: IntoIterator<Item = Document>>(
+        &mut self,
+        docs: I,
+    ) -> Result<u64, String> {
+        let augmented: Result<Vec<Document>, String> = docs
+            .into_iter()
+            .map(|mut d| self.augment(&mut d).map(|()| d))
+            .collect();
+        self.cluster.ingest(augmented?)
+    }
+
+    /// Stage one document into the in-flight ingest batch without
+    /// committing it (invisible to queries until
+    /// [`StStore::commit_batch`]). Schedule-driven tests use this to
+    /// interleave staging, queries and balancer actions explicitly.
+    pub fn stage(&mut self, mut doc: Document) -> Result<(), String> {
+        self.augment(&mut doc)?;
+        self.cluster.stage(&doc).map(|_| ())
+    }
+
+    /// Publish the in-flight staged batch and run the live balancer.
+    pub fn commit_batch(&mut self) {
+        self.cluster.commit_batch();
+    }
+
+    /// Split chunk `cidx` at its median shard key (jumbo marking
+    /// applies as usual). Schedule-driven tests use this to interleave
+    /// balancer actions with ingest and queries at exact points.
+    pub fn split_chunk(&mut self, cidx: usize) {
+        self.cluster.split_chunk(cidx);
+    }
+
+    /// Migrate chunk `cidx` to shard `dst` through the fault-aware
+    /// two-phase protocol; `false` means the migration rolled back and
+    /// the chunk stayed on its donor.
+    pub fn migrate_chunk(&mut self, cidx: usize, dst: usize) -> bool {
+        self.cluster.migrate_chunk(cidx, dst)
     }
 
     /// Execute a spatio-temporal range query.
@@ -500,6 +555,37 @@ mod tests {
             let (after, _) = store.st_query(&q);
             assert_eq!(before.len(), after.len(), "{approach}");
             assert_eq!(store.doc_count(), 1_600, "{approach}");
+        }
+    }
+
+    #[test]
+    fn batched_ingest_matches_synchronous_inserts() {
+        let q = StQuery {
+            rect: GeoRect::new(20.0, 35.0, 28.0, 41.0),
+            t0: DateTime::from_millis(0),
+            t1: DateTime::from_millis(1_000_000_000),
+        };
+        for approach in Approach::ALL {
+            let mut store = small_store(approach);
+            let (before, _) = store.st_query(&q);
+            // Stage a batch through the facade: augmented (hilbertIndex
+            // etc.) but invisible until the commit.
+            let batch: Vec<Document> = (0..50)
+                .map(|i| record(10_000 + i, 21.0 + f64::from(i) * 0.01, 36.0, 5_000_000))
+                .collect();
+            for d in batch.iter().take(25) {
+                store.stage(d.clone()).unwrap();
+            }
+            let (during, _) = store.st_query(&q);
+            assert_eq!(during.len(), before.len(), "{approach}: staged leak");
+            store.commit_batch();
+            let (mid, _) = store.st_query(&q);
+            assert_eq!(mid.len(), before.len() + 25, "{approach}");
+            // And the one-call batch path.
+            store.insert_batch(batch[25..].to_vec()).unwrap();
+            let (after, _) = store.st_query(&q);
+            assert_eq!(after.len(), before.len() + 50, "{approach}");
+            assert_eq!(store.doc_count(), 1_650, "{approach}");
         }
     }
 

@@ -1,7 +1,7 @@
 //! Store configuration.
 
 use crate::approach::Approach;
-use sts_cluster::RecoveryPolicy;
+use sts_cluster::{LiveBalancerConfig, RecoveryPolicy};
 use sts_curve::RangeBudget;
 use sts_geo::GeoRect;
 use sts_query::Planner;
@@ -33,6 +33,8 @@ pub struct StoreConfig {
     pub recovery: RecoveryPolicy,
     /// Seed for deterministic failpoint draws (chaos testing).
     pub fault_seed: u64,
+    /// Live-balancer policy applied at every ingest-batch commit.
+    pub balancer: LiveBalancerConfig,
 }
 
 impl Default for StoreConfig {
@@ -50,6 +52,7 @@ impl Default for StoreConfig {
             planner: Planner::default(),
             recovery: RecoveryPolicy::default(),
             fault_seed: 0x5EED_FA17,
+            balancer: LiveBalancerConfig::default(),
         }
     }
 }

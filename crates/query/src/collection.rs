@@ -5,6 +5,7 @@ use crate::explain::ExecutionStats;
 use crate::filter::Filter;
 use crate::plan::QueryPlan;
 use crate::planner::Planner;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use sts_document::Document;
 use sts_index::{extract_key_values, IndexManager, IndexSpec};
@@ -12,6 +13,19 @@ use sts_obs::Registry;
 use sts_storage::{CollectionStats, CollectionStore, RecordId};
 
 /// A shard-local collection: the unit a `mongod` process manages.
+///
+/// ## Snapshot visibility
+///
+/// The collection carries a **committed-epoch** counter. Ordinary
+/// inserts stamp epoch 0 (immediately visible). A batched ingest
+/// instead *stages* documents at `committed + 1` — they are stored and
+/// indexed, but [`get_visible`](Self::get_visible) (and therefore the
+/// executor's fetch stage) treats them as absent until
+/// [`commit_batch`](Self::commit_batch) publishes the epoch with a
+/// single atomic store. A scan that overlaps a batch thus sees either
+/// none or all of it, never a torn prefix. In a cluster every shard
+/// shares one counter (see [`share_epoch`](Self::share_epoch)), making
+/// the commit point global across shards.
 pub struct LocalCollection {
     store: CollectionStore,
     indexes: IndexManager,
@@ -20,6 +34,10 @@ pub struct LocalCollection {
     /// concurrent stores (benchmark approaches, parallel tests) never
     /// bleed metrics into each other.
     obs: Arc<Registry>,
+    /// Highest published insert epoch; records stamped above it are
+    /// staged and invisible. Shared across shards of a cluster so one
+    /// store is the whole batch's commit point.
+    committed: Arc<AtomicU64>,
     /// Reusable execution buffers. A shard serves one query at a time,
     /// so the mutex is uncontended — it exists only because the cluster
     /// fans queries out to shards from rayon workers (`&self` + `Sync`).
@@ -32,6 +50,7 @@ impl Default for LocalCollection {
             store: CollectionStore::default(),
             indexes: IndexManager::default(),
             obs: sts_obs::global_handle(),
+            committed: Arc::new(AtomicU64::new(0)),
             scratch: Mutex::new(QueryScratch::new()),
         }
     }
@@ -68,6 +87,14 @@ impl LocalCollection {
     /// Insert a document; all indexes must accept it (2dsphere fields
     /// must hold valid points, like MongoDB's insert-time validation).
     pub fn insert(&mut self, doc: &Document) -> Result<RecordId, String> {
+        self.insert_at_epoch(doc, 0)
+    }
+
+    /// Insert a document stamped with an explicit epoch. Epoch 0 is
+    /// immediately visible; anything above the committed epoch stays
+    /// invisible to snapshot readers until published. Migrations use
+    /// this to carry a record's stamp across shards unchanged.
+    pub fn insert_at_epoch(&mut self, doc: &Document, epoch: u64) -> Result<RecordId, String> {
         for index in self.indexes.iter() {
             if extract_key_values(index.spec(), doc).is_none() {
                 return Err(format!(
@@ -76,10 +103,43 @@ impl LocalCollection {
                 ));
             }
         }
-        let rid = self.store.insert(doc);
+        let rid = self.store.insert_at(doc, epoch);
         let ok = self.indexes.insert_doc(doc, rid);
         debug_assert!(ok, "validated above");
         Ok(rid)
+    }
+
+    /// Stage a document into the in-flight batch (epoch `committed + 1`):
+    /// stored and indexed now, visible only after [`commit_batch`].
+    ///
+    /// [`commit_batch`]: Self::commit_batch
+    pub fn stage(&mut self, doc: &Document) -> Result<RecordId, String> {
+        let epoch = self.snapshot() + 1;
+        self.insert_at_epoch(doc, epoch)
+    }
+
+    /// Publish the in-flight batch: one atomic store advances the
+    /// committed epoch, flipping every staged record visible at once.
+    pub fn commit_batch(&self) {
+        let next = self.snapshot() + 1;
+        self.committed.store(next, Ordering::Release);
+    }
+
+    /// The current committed epoch — the snapshot a query starting now
+    /// executes against.
+    pub fn snapshot(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Handle to the committed-epoch counter, for sharing one commit
+    /// point across every shard of a cluster.
+    pub fn share_epoch(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.committed)
+    }
+
+    /// Rebind this collection onto a shared committed-epoch counter.
+    pub fn set_epoch_handle(&mut self, epoch: Arc<AtomicU64>) {
+        self.committed = epoch;
     }
 
     /// Remove by record id, unindexing along the way.
@@ -89,14 +149,30 @@ impl LocalCollection {
         Some(doc)
     }
 
-    /// Fetch a document.
+    /// Fetch a document (snapshot-blind; staged records are served too).
     pub fn get(&self, rid: RecordId) -> Option<Document> {
         self.store.get(rid)
     }
 
-    /// Live document count.
+    /// Fetch a document only if it is visible at `snapshot`.
+    pub fn get_visible(&self, rid: RecordId, snapshot: u64) -> Option<Document> {
+        self.store.get_visible(rid, snapshot)
+    }
+
+    /// The insert epoch a live record carries.
+    pub fn epoch_of(&self, rid: RecordId) -> Option<u64> {
+        self.store.epoch_of(rid)
+    }
+
+    /// Live document count, staged records included (what storage
+    /// accounting and chunk sizing care about).
     pub fn len(&self) -> usize {
         self.store.len()
+    }
+
+    /// Documents visible at the current committed epoch.
+    pub fn visible_len(&self) -> usize {
+        self.store.visible_len(self.snapshot())
     }
 
     /// True when empty.
@@ -104,9 +180,15 @@ impl LocalCollection {
         self.store.is_empty()
     }
 
-    /// Iterate all `(record id, document)` pairs.
+    /// Iterate all `(record id, document)` pairs, staged included.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, Document)> + '_ {
         self.store.iter()
+    }
+
+    /// Iterate `(record id, document)` pairs visible at the current
+    /// committed epoch — what a reader starting now observes.
+    pub fn iter_visible(&self) -> impl Iterator<Item = (RecordId, Document)> + '_ {
+        self.store.iter_visible(self.snapshot())
     }
 
     /// Storage statistics (Table 6).
@@ -179,10 +261,12 @@ impl LocalCollection {
         removed
     }
 
-    /// Brute-force evaluation over every document — the ground truth the
-    /// tests compare indexed execution against.
+    /// Brute-force evaluation over every *visible* document — the ground
+    /// truth the tests compare indexed execution against. Visibility
+    /// matters: a correct indexed find must return exactly the committed
+    /// records, so the reference scan applies the same snapshot.
     pub fn find_collscan(&self, filter: &Filter) -> Vec<Document> {
-        self.iter()
+        self.iter_visible()
             .map(|(_, d)| d)
             .filter(|d| filter.matches(d))
             .collect()
@@ -284,6 +368,32 @@ mod tests {
         c.create_index(IndexSpec::single("date"));
         c.insert(&geo_doc(23.0, 37.0, 0)).unwrap();
         c.create_index(IndexSpec::single("x"));
+    }
+
+    #[test]
+    fn staged_batch_invisible_until_commit() {
+        let mut c = st_collection();
+        let f = Filter::And(vec![
+            Filter::gte("date", DateTime::from_millis(0)),
+            Filter::lte("date", DateTime::from_millis(500 * 60_000)),
+        ]);
+        let (before, _) = c.find(&f);
+        // Stage a batch: indexed immediately, but invisible to find and
+        // to the reference collscan alike.
+        for i in 0..10i64 {
+            c.stage(&geo_doc(23.3, 37.3, 1_000 + i)).unwrap();
+        }
+        assert_eq!(c.len(), 510);
+        assert_eq!(c.visible_len(), 500);
+        let (during, _) = c.find(&f);
+        assert_eq!(during.len(), before.len(), "staged docs leaked into find");
+        assert_eq!(c.find_collscan(&f).len(), before.len());
+        // One atomic commit flips the whole batch visible.
+        c.commit_batch();
+        let (after, _) = c.find(&f);
+        assert_eq!(after.len(), before.len() + 10);
+        assert_eq!(c.find_collscan(&f).len(), before.len() + 10);
+        assert_eq!(c.visible_len(), 510);
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub fn execute_plan_into(
         return stats;
     };
 
+    // Snapshot the committed epoch once: the whole scan reads "as of"
+    // this instant, so a batch committed mid-scan is either entirely
+    // visible (committed before this load) or entirely invisible.
+    let snapshot = coll.snapshot();
     let max_works = budget.map_or(u64::MAX, |b| b.max_works);
     let mut works = 0u64;
     // Signals a budget abort out of the closure without borrowing
@@ -134,9 +138,9 @@ pub fn execute_plan_into(
         // Everything from here is the FetchFilter stage: heap fetch plus
         // residual-filter evaluation (two clock reads per fetched doc).
         let fetch_start = Instant::now();
-        let Some(doc) = coll.get(rid) else {
-            // Tombstoned between index and heap — cannot happen in this
-            // single-threaded simulator, but stay robust.
+        let Some(doc) = coll.get_visible(rid, snapshot) else {
+            // Tombstoned, or staged by a batch newer than our snapshot —
+            // either way the record does not exist for this reader.
             stats.fetch_time += fetch_start.elapsed();
             return ControlFlow::Continue(());
         };

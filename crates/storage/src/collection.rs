@@ -17,10 +17,20 @@ use sts_document::{decode_document, encode_document, Document};
 /// allocation-free. Size accounting ([`stats`](CollectionStore::stats))
 /// still measures the serialized heap only, so Table 6 numbers are
 /// unaffected.
+///
+/// For live ingestion every record also carries an **insert epoch** —
+/// a generation stamp assigned at write time. Bulk-loaded records are
+/// stamped epoch 0 and are always visible; records staged by a batched
+/// concurrent ingest get the batch's (not-yet-committed) epoch and stay
+/// invisible to [`get_visible`](CollectionStore::get_visible) readers
+/// until the owning collection publishes that epoch. Because the stamp
+/// lives on the record it survives chunk migrations: a staged document
+/// copied to another shard is still staged there.
 #[derive(Default)]
 pub struct CollectionStore {
     heap: RecordHeap,
     decoded: Vec<Option<Document>>,
+    epochs: Vec<u64>,
 }
 
 /// Size statistics for a collection store (Table 6's `dataSize` /
@@ -41,8 +51,15 @@ impl CollectionStore {
         Self::default()
     }
 
-    /// Serialize and store a document.
+    /// Serialize and store a document at epoch 0 (always visible).
     pub fn insert(&mut self, doc: &Document) -> RecordId {
+        self.insert_at(doc, 0)
+    }
+
+    /// Serialize and store a document stamped with `epoch`. Records with
+    /// an epoch above a reader's snapshot are invisible to
+    /// [`get_visible`](Self::get_visible) and the `*_visible` iterators.
+    pub fn insert_at(&mut self, doc: &Document, epoch: u64) -> RecordId {
         let bytes = encode_document(doc);
         // Cache the decode of the stored bytes (not `doc` itself), so a
         // cached fetch is indistinguishable from a cold decode.
@@ -50,12 +67,30 @@ impl CollectionStore {
         let id = self.heap.insert(bytes);
         debug_assert_eq!(id as usize, self.decoded.len());
         self.decoded.push(Some(decoded));
+        self.epochs.push(epoch);
         id
     }
 
     /// Fetch a document: a copy-on-write clone of the cached decode.
     pub fn get(&self, id: RecordId) -> Option<Document> {
         self.decoded.get(id as usize)?.clone()
+    }
+
+    /// Fetch a document only if its insert epoch is within `snapshot`
+    /// (i.e. `epoch <= snapshot`). Staged records read as absent — the
+    /// same answer a tombstone gives — so a scan that raced a batch
+    /// simply never sees the uncommitted documents.
+    pub fn get_visible(&self, id: RecordId, snapshot: u64) -> Option<Document> {
+        if *self.epochs.get(id as usize)? > snapshot {
+            return None;
+        }
+        self.decoded.get(id as usize)?.clone()
+    }
+
+    /// The insert epoch a live record was stamped with.
+    pub fn epoch_of(&self, id: RecordId) -> Option<u64> {
+        self.decoded.get(id as usize)?.as_ref()?;
+        self.epochs.get(id as usize).copied()
     }
 
     /// Raw serialized bytes of a document (cheaper than decoding when
@@ -86,6 +121,29 @@ impl CollectionStore {
             .iter()
             .enumerate()
             .filter_map(|(id, d)| Some((id as RecordId, d.clone()?)))
+    }
+
+    /// Iterate live `(id, decoded document)` pairs visible at `snapshot`.
+    pub fn iter_visible(&self, snapshot: u64) -> impl Iterator<Item = (RecordId, Document)> + '_ {
+        self.decoded
+            .iter()
+            .zip(self.epochs.iter())
+            .enumerate()
+            .filter_map(move |(id, (d, &epoch))| {
+                if epoch > snapshot {
+                    return None;
+                }
+                Some((id as RecordId, d.clone()?))
+            })
+    }
+
+    /// Live document count visible at `snapshot`.
+    pub fn visible_len(&self, snapshot: u64) -> usize {
+        self.decoded
+            .iter()
+            .zip(self.epochs.iter())
+            .filter(|(d, &epoch)| d.is_some() && epoch <= snapshot)
+            .count()
     }
 
     /// Iterate live `(id, raw bytes)` pairs.
@@ -183,6 +241,36 @@ mod tests {
         c.remove(id);
         assert!(c.get(id).is_none());
         assert!(c.iter().next().is_none());
+    }
+
+    #[test]
+    fn staged_records_invisible_until_snapshot_advances() {
+        let mut c = CollectionStore::new();
+        let base = c.insert(&sample(0));
+        let staged = c.insert_at(&sample(1), 3);
+        assert_eq!(c.epoch_of(base), Some(0));
+        assert_eq!(c.epoch_of(staged), Some(3));
+        // Plain `get` is snapshot-blind (used by migrations/debug).
+        assert!(c.get(staged).is_some());
+        // Snapshot 2 sees only the bulk-loaded record.
+        assert!(c.get_visible(base, 2).is_some());
+        assert!(c.get_visible(staged, 2).is_none());
+        assert_eq!(c.visible_len(2), 1);
+        assert_eq!(c.iter_visible(2).count(), 1);
+        // Snapshot 3 (epoch committed) sees both.
+        assert!(c.get_visible(staged, 3).is_some());
+        assert_eq!(c.visible_len(3), 2);
+        assert_eq!(c.iter_visible(3).count(), 2);
+    }
+
+    #[test]
+    fn epoch_of_respects_tombstones() {
+        let mut c = CollectionStore::new();
+        let id = c.insert_at(&sample(4), 7);
+        c.remove(id);
+        assert_eq!(c.epoch_of(id), None);
+        assert!(c.get_visible(id, u64::MAX).is_none());
+        assert_eq!(c.visible_len(u64::MAX), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 #![allow(dead_code)]
 
 pub mod oracle;
+pub mod schedule;
 
 use sts::core::{Approach, StStore, StoreConfig};
 use sts::document::Document;
