@@ -79,26 +79,36 @@ fn main() {
 
     let mut failures = 0usize;
     println!(
-        "{:<8} {:<22} {:>14} {:>14} {:>9}  verdict",
+        "{:<14} {:<22} {:>14} {:>14} {:>9}  verdict",
         "approach", "metric", "baseline", "current", "delta"
     );
     for cur in rows(&current) {
-        let name = cur.get("approach").and_then(Json::as_str).unwrap_or("?");
-        let Some(base) = rows(&baseline)
-            .into_iter()
-            .find(|r| r.get("approach").and_then(Json::as_str) == Some(name))
-        else {
-            println!("{name:<8} (not in baseline — skipped)");
+        let approach = cur.get("approach").and_then(Json::as_str).unwrap_or("?");
+        let curve = row_curve(cur);
+        // Rows are keyed on (approach, curve): reports produced before
+        // the curve field existed default to the approach's only
+        // possible curve, so an old committed baseline keeps matching
+        // a new report (and vice versa) without a refresh.
+        let name = format!("{approach}/{curve}");
+        let Some(base) = rows(&baseline).into_iter().find(|r| {
+            r.get("approach").and_then(Json::as_str) == Some(approach) && row_curve(r) == curve
+        }) else {
+            println!(
+                "{name:<14} (not in baseline — skipped; refresh with:\n\
+                 \x20   cargo run -p sts-bench --release --bin perfsmoke -- \\\n\
+                 \x20       --scale 0.002 --queries 120 --curve {curve} --json {})",
+                files[0]
+            );
             continue;
         };
         for m in LATENCY_METRICS {
-            failures += compare(name, m, base, cur, Some(max_latency_pct));
+            failures += compare(&name, m, base, cur, Some(max_latency_pct));
         }
         for m in INFO_METRICS {
-            failures += compare(name, m, base, cur, None);
+            failures += compare(&name, m, base, cur, None);
         }
         for m in COUNTER_METRICS {
-            failures += compare(name, m, base, cur, Some(max_counter_pct));
+            failures += compare(&name, m, base, cur, Some(max_counter_pct));
         }
         // Exact-match correctness anchor.
         let (b, c) = (
@@ -107,7 +117,7 @@ fn main() {
         );
         let ok = b == c && b.is_some();
         println!(
-            "{:<8} {:<22} {:>14} {:>14} {:>9}  {}",
+            "{:<14} {:<22} {:>14} {:>14} {:>9}  {}",
             name,
             "results",
             b.map_or("?".into(), |v| v.to_string()),
@@ -132,6 +142,9 @@ fn main() {
              \n\
              \x20   cargo run -p sts-bench --release --bin perfsmoke -- \\\n\
              \x20       --scale 0.002 --queries 120 --json {}\n\
+             \n\
+             (baselines are keyed per curve; a baseline recorded on a non-default curve\n\
+             needs the matching `--curve <hilbert|zorder|onion|skewgh>` on the refresh)\n\
              \n\
              otherwise, the current change made the store slower — investigate before merging.",
             files[0]
@@ -164,13 +177,29 @@ fn rows(report: &Json) -> Vec<&Json> {
         .unwrap_or_default()
 }
 
+/// The curve key of a report row. Reports written before the curve
+/// zoo carry no `curve` field; they can only have run the approach's
+/// default — Hilbert for the curve-based approaches, none for the
+/// baselines — so that is what a missing field means.
+fn row_curve(row: &Json) -> String {
+    if let Some(c) = row.get("curve").and_then(Json::as_str) {
+        return c.to_string();
+    }
+    let approach = row.get("approach").and_then(Json::as_str).unwrap_or("?");
+    if matches!(approach, "hil" | "hil*") {
+        "hilbert".to_string()
+    } else {
+        "none".to_string()
+    }
+}
+
 /// Print one metric row; return 1 if it regressed past `gate_pct`.
 fn compare(approach: &str, metric: &str, base: &Json, cur: &Json, gate_pct: Option<f64>) -> usize {
     let (Some(b), Some(c)) = (
         base.get(metric).and_then(Json::as_f64),
         cur.get(metric).and_then(Json::as_f64),
     ) else {
-        println!("{approach:<8} {metric:<22} (missing — skipped)");
+        println!("{approach:<14} {metric:<22} (missing — skipped)");
         return 0;
     };
     let delta_pct = if b.abs() < f64::EPSILON {
@@ -189,7 +218,7 @@ fn compare(approach: &str, metric: &str, base: &Json, cur: &Json, gate_pct: Opti
         Some(_) => ("ok".to_string(), false),
     };
     println!(
-        "{:<8} {:<22} {:>14.1} {:>14.1} {:>+8.1}%  {}",
+        "{:<14} {:<22} {:>14.1} {:>14.1} {:>+8.1}%  {}",
         approach, metric, b, c, delta_pct, verdict
     );
     usize::from(failed)

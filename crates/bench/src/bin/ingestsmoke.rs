@@ -34,6 +34,8 @@ struct IngestReport {
     scale: f64,
     shards: usize,
     seed: u64,
+    /// Curve family the curve-based approaches ingested under.
+    curve: String,
     batch_size: usize,
     records: u64,
     approaches: Vec<ApproachRow>,
@@ -101,8 +103,8 @@ fn main() {
         .collect();
 
     println!(
-        "ingest smoke: {records} records, {} shards, batches of {batch_size}",
-        cfg.num_shards
+        "ingest smoke: {records} records, {} shards, batches of {batch_size}, curve {}",
+        cfg.num_shards, cfg.curve
     );
     println!(
         "{:<6} {:>12} {:>10} {:>10} {:>10} {:>7} {:>6} {:>6} {:>6} {:>10}",
@@ -151,6 +153,7 @@ fn main() {
         scale: cfg.scale,
         shards: cfg.num_shards,
         seed: cfg.seed,
+        curve: cfg.curve.name().to_string(),
         batch_size,
         records,
         approaches: rows,
@@ -173,11 +176,20 @@ fn run_one(
     batch_size: usize,
     queries: &[StQuery],
 ) -> ApproachRow {
+    // Fit data-adaptive curve families on a prefix of the same fleet
+    // stream (deterministic in the seed), mirroring a deployment that
+    // fits its curve before the live ingest starts.
+    let sample_records = sts_workload::fleet::generate(&FleetConfig {
+        records: fleet.records.min(2_048),
+        ..fleet.clone()
+    });
     let mut store = StStore::new(StoreConfig {
         approach,
         num_shards: cfg.num_shards,
         max_chunk_bytes: cfg.max_chunk_bytes(),
         data_mbr: sts_bench::dataset_mbr(Dataset::R),
+        curve: cfg.curve,
+        curve_sample: sts_bench::curve_training_sample(&sample_records),
         ..Default::default()
     });
     let chunks0 = store.cluster().chunk_map().len();

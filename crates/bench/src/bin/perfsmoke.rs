@@ -14,14 +14,22 @@
 //! ```
 //!
 //! Defaults write `results/BENCH_<date>.json`.
+//!
+//! With `--curve-matrix` the binary instead scores every
+//! (approach × curve family) cell of the zoo on the clustered
+//! hot-window workload — covering-range counts, keys examined,
+//! queries-routed Gini and latency percentiles — emitting
+//! schema-versioned `sts-curvematrix/1` JSON and exiting non-zero if
+//! any cell's result count disagrees with the in-binary full scan.
 
 use serde::Serialize;
 use std::time::Instant;
 use sts_bench::{
-    build_store, dataset_records, save_json_to, small_query_batch, utc_date_string, Dataset,
-    HarnessConfig,
+    build_store, clustered_query_batch, dataset_records, save_json_to, small_query_batch,
+    utc_date_string, Dataset, HarnessConfig,
 };
 use sts_core::Approach;
+use sts_curve::CurveFamily;
 use sts_obs::Histogram;
 
 /// Bump when the report layout changes incompatibly.
@@ -42,6 +50,9 @@ struct BenchReport {
 #[derive(Serialize)]
 struct ApproachRow {
     approach: String,
+    /// Curve family the approach ran on (`"none"` for the baselines,
+    /// which have no curve). bench-diff keys rows on (approach, curve).
+    curve: String,
     /// Latency percentiles of per-query cluster latency (slowest shard
     /// bounds each query), in microseconds.
     p50_us: f64,
@@ -109,6 +120,7 @@ fn main() {
     let mut n_queries = 120usize;
     let mut json_path: Option<String> = None;
     let mut ablation_path: Option<String> = None;
+    let mut curve_matrix = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| -> Option<String> {
@@ -124,10 +136,16 @@ fn main() {
             json_path = Some(v);
         } else if let Some(v) = grab("--ablation-json") {
             ablation_path = Some(v);
+        } else if a == "--curve-matrix" {
+            curve_matrix = true;
         } else {
             eprintln!("perfsmoke: unknown argument {a}");
             std::process::exit(2);
         }
+    }
+    if curve_matrix {
+        let path = json_path.unwrap_or_else(|| "results/CURVE_matrix.json".to_string());
+        std::process::exit(run_matrix(&cfg, n_queries, &path));
     }
     let path = json_path.unwrap_or_else(|| format!("results/BENCH_{}.json", utc_date_string()));
     eprintln!(
@@ -193,6 +211,202 @@ fn main() {
         }
         eprintln!("# wrote {apath}");
     }
+}
+
+/// The curve label a report row carries: the configured family for the
+/// curve-based approaches, `"none"` for the baselines (which have no
+/// curve at all).
+fn curve_label(approach: Approach, curve: CurveFamily) -> String {
+    if approach.uses_hilbert() {
+        curve.name().to_string()
+    } else {
+        "none".to_string()
+    }
+}
+
+// ------------------------------------------------------- curve matrix
+
+/// Bump when the matrix layout changes incompatibly.
+const MATRIX_SCHEMA: &str = "sts-curvematrix/1";
+
+#[derive(Serialize)]
+struct MatrixReport {
+    schema: String,
+    generated_at: String,
+    scale: f64,
+    shards: usize,
+    seed: u64,
+    queries: usize,
+    records: u64,
+    /// Which workload the matrix scored (always the clustered
+    /// hot-window batch — the regime that separates the curves).
+    workload: String,
+    cells: Vec<MatrixCell>,
+}
+
+/// One (approach × curve) cell of the clustering-quality matrix.
+#[derive(Serialize)]
+struct MatrixCell {
+    approach: String,
+    curve: String,
+    p50_us: f64,
+    p95_us: f64,
+    /// Covering ranges the decomposition produced over the batch — the
+    /// paper's clustering-quality proxy (fewer ranges = better
+    /// locality at equal budget).
+    covering_ranges_total: usize,
+    /// Index keys examined across all shards — false-positive work.
+    total_keys_examined: u64,
+    /// Gini of queries routed per shard — load dispersion under the
+    /// hot temporal window (lower = more even).
+    queries_routed_gini: f64,
+    results: u64,
+    /// Every query's result count matched the in-binary full scan.
+    exact: bool,
+}
+
+/// Score every (approach × curve) cell on the clustered hot-window
+/// workload and write the `sts-curvematrix/1` artifact. Returns the
+/// process exit code: non-zero when any cell's result count disagrees
+/// with the full scan (the CI correctness gate).
+fn run_matrix(cfg: &HarnessConfig, n_queries: usize, path: &str) -> i32 {
+    eprintln!(
+        "# perfsmoke --curve-matrix: scale={} shards={} seed={:#x} queries={n_queries} -> {path}",
+        cfg.scale, cfg.num_shards, cfg.seed
+    );
+    let records = dataset_records(Dataset::R, cfg, 1);
+    let queries = clustered_query_batch(n_queries, cfg.seed);
+    // Ground truth by brute force over the raw records — independent of
+    // every index, curve and routing layer under test.
+    let expected: Vec<u64> = queries
+        .iter()
+        .map(|q| {
+            records
+                .iter()
+                .filter(|r| q.matches(r.lon, r.lat, r.date))
+                .count() as u64
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<8} {:<8} {:>10} {:>10} {:>8} {:>12} {:>8} {:>9} {:>6}",
+        "approach",
+        "curve",
+        "p50(us)",
+        "p95(us)",
+        "ranges",
+        "totalKeys",
+        "gini(q)",
+        "results",
+        "exact"
+    );
+    for approach in Approach::ALL {
+        let families: &[CurveFamily] = if approach.uses_hilbert() {
+            &CurveFamily::ALL
+        } else {
+            // The baselines have no curve: one cell each, for scale
+            // reference against the curve-based rows.
+            &[CurveFamily::Hilbert]
+        };
+        for &family in families {
+            let mut run_cfg = *cfg;
+            run_cfg.curve = family;
+            cells.push(run_matrix_cell(
+                approach, family, &records, &queries, &expected, &run_cfg,
+            ));
+        }
+    }
+
+    let all_exact = cells.iter().all(|c| c.exact);
+    let report = MatrixReport {
+        schema: MATRIX_SCHEMA.to_string(),
+        generated_at: utc_date_string(),
+        scale: cfg.scale,
+        shards: cfg.num_shards,
+        seed: cfg.seed,
+        queries: n_queries,
+        records: records.len() as u64,
+        workload: "clustered hot-window".to_string(),
+        cells,
+    };
+    if let Err(e) = save_json_to(std::path::Path::new(path), &report) {
+        eprintln!("perfsmoke: cannot write {path}: {e}");
+        return 1;
+    }
+    eprintln!("# wrote {path}");
+    if !all_exact {
+        eprintln!("perfsmoke: result-count drift against the full scan — see the `exact` column");
+        return 1;
+    }
+    0
+}
+
+fn run_matrix_cell(
+    approach: Approach,
+    family: CurveFamily,
+    records: &[sts_workload::Record],
+    queries: &[sts_core::StQuery],
+    expected: &[u64],
+    cfg: &HarnessConfig,
+) -> MatrixCell {
+    let mut store = build_store(approach, Dataset::R, records, cfg, false);
+    store.set_metrics_registry(std::sync::Arc::new(sts_obs::Registry::new()));
+    for q in queries {
+        let _ = store.st_query(q);
+    }
+    let latency = Histogram::new();
+    let mut ranges = 0usize;
+    let mut keys = 0u64;
+    let mut results = 0u64;
+    let mut exact = true;
+    let runs = cfg.measured_runs.max(1);
+    for (q, &want) in queries.iter().zip(expected) {
+        let mut best = None;
+        let mut report = None;
+        for _ in 0..runs {
+            let (_, r) = store.st_query(q);
+            let lat = r.cluster_latency();
+            best = Some(best.map_or(lat, |b: std::time::Duration| b.min(lat)));
+            report = Some(r);
+        }
+        let (best, report) = (best.expect("runs >= 1"), report.expect("runs >= 1"));
+        latency.record(best);
+        ranges += report.hilbert_ranges;
+        keys += report.cluster.total_keys_examined();
+        results += report.cluster.n_returned();
+        exact &= report.cluster.n_returned() == want && !report.cluster.partial;
+    }
+    // Gini over the whole run (warm-up included): the batch repeats
+    // identically, so per-shard routing counts scale uniformly and the
+    // Gini coefficient is unaffected.
+    let gini = store.health_snapshot().queries_skew().gini;
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let snap = latency.snapshot();
+    let cell = MatrixCell {
+        approach: approach.name().to_string(),
+        curve: curve_label(approach, family),
+        p50_us: us(snap.p50),
+        p95_us: us(snap.p95),
+        covering_ranges_total: ranges,
+        total_keys_examined: keys,
+        queries_routed_gini: gini,
+        results,
+        exact,
+    };
+    println!(
+        "{:<8} {:<8} {:>10.1} {:>10.1} {:>8} {:>12} {:>8.3} {:>9} {:>6}",
+        cell.approach,
+        cell.curve,
+        cell.p50_us,
+        cell.p95_us,
+        cell.covering_ranges_total,
+        cell.total_keys_examined,
+        cell.queries_routed_gini,
+        cell.results,
+        cell.exact
+    );
+    cell
 }
 
 fn run_approach(
@@ -301,6 +515,7 @@ fn run_approach(
 
     let row = ApproachRow {
         approach: approach.name().to_string(),
+        curve: curve_label(approach, cfg.curve),
         p50_us: us(snap.p50),
         p95_us: us(snap.p95),
         p99_us: us(snap.p99),

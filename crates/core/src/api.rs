@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 use sts_cluster::{
     Cluster, ClusterConfig, ClusterQueryReport, FailPoint, HealthSnapshot, RecoveryPolicy,
 };
-use sts_curve::CurveGrid;
+use sts_curve::Curve;
 use sts_document::Document;
 use sts_index::geo_point_of;
 use sts_obs::{Registry, Trace, TraceId};
@@ -20,7 +20,7 @@ use sts_storage::CollectionStats;
 /// A deployed spatio-temporal store: one approach, one sharded cluster.
 pub struct StStore {
     config: StoreConfig,
-    curve: Option<CurveGrid>,
+    curve: Option<Arc<dyn Curve>>,
     cluster: Cluster,
     profiler: Profiler,
     /// Reusable Hilbert-decomposition buffers (interval-tree arena +
@@ -32,7 +32,12 @@ pub struct StStore {
 impl StStore {
     /// Deploy a fresh (empty) store for the configured approach.
     pub fn new(config: StoreConfig) -> Self {
-        let curve = config.approach.curve(config.curve_order, &config.data_mbr);
+        let curve = config.approach.curve_for(
+            config.curve,
+            config.curve_order,
+            &config.data_mbr,
+            &config.curve_sample,
+        );
         let cluster = Cluster::new(
             ClusterConfig {
                 num_shards: config.num_shards,
@@ -73,7 +78,7 @@ impl StStore {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             build_filter_with(
                 query,
-                self.curve.as_ref(),
+                self.curve.as_deref(),
                 self.config.range_budget,
                 &mut cover,
             )
@@ -157,9 +162,9 @@ impl StStore {
         &self.config
     }
 
-    /// The curve grid (Hilbert methods only).
-    pub fn curve(&self) -> Option<&CurveGrid> {
-        self.curve.as_ref()
+    /// The active curve (curve-based methods only).
+    pub fn curve(&self) -> Option<&dyn Curve> {
+        self.curve.as_deref()
     }
 
     /// The underlying cluster (read access for diagnostics).
@@ -335,7 +340,7 @@ impl StStore {
                 polygon,
                 t0,
                 t1,
-                self.curve.as_ref(),
+                self.curve.as_deref(),
                 self.config.range_budget,
                 &mut cover,
             )

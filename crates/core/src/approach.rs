@@ -2,9 +2,10 @@
 
 use crate::{DATE_FIELD, HILBERT_FIELD, LOCATION_FIELD};
 use std::fmt;
+use std::sync::Arc;
 use sts_cluster::ShardKey;
-use sts_curve::CurveGrid;
-use sts_geo::GeoRect;
+use sts_curve::{Curve, CurveFamily, CurveGrid};
+use sts_geo::{GeoPoint, GeoRect, WORLD};
 use sts_index::{IndexField, IndexSpec};
 
 /// Which indexing + sharding method the store runs.
@@ -104,6 +105,25 @@ impl Approach {
         }
     }
 
+    /// The pluggable-`family` generalization of [`Approach::curve`]:
+    /// `hil` builds the family over the world extent, `hil*` over the
+    /// data MBR, the baselines get `None`. `sample` feeds the
+    /// data-fitted families (skew GeoHash bucket boundaries) and is
+    /// ignored by the analytic ones.
+    pub fn curve_for(
+        self,
+        family: CurveFamily,
+        order: u32,
+        data_mbr: &GeoRect,
+        sample: &[GeoPoint],
+    ) -> Option<Arc<dyn Curve>> {
+        match self {
+            Approach::BslST | Approach::BslTS | Approach::StHash => None,
+            Approach::Hil => Some(family.build(&WORLD, order, sample)),
+            Approach::HilStar => Some(family.build(data_mbr, order, sample)),
+        }
+    }
+
     /// The field zones are defined on (§4.2.4): `date` for the
     /// baselines, `hilbertIndex` for the Hilbert methods.
     pub fn zone_field(self) -> &'static str {
@@ -151,8 +171,28 @@ mod tests {
         assert!(Approach::BslST.curve(13, &mbr).is_none());
         let hil = Approach::Hil.curve(13, &mbr).unwrap();
         let star = Approach::HilStar.curve(13, &mbr).unwrap();
-        assert_eq!(hil.extent(), &sts_geo::WORLD);
+        assert_eq!(hil.extent(), &WORLD);
         assert_eq!(star.extent(), &mbr);
+    }
+
+    #[test]
+    fn curve_for_spans_every_family() {
+        let mbr = GeoRect::new(19.6, 34.9, 28.2, 41.8);
+        for family in CurveFamily::ALL {
+            assert!(Approach::BslTS.curve_for(family, 13, &mbr, &[]).is_none());
+            let hil = Approach::Hil.curve_for(family, 13, &mbr, &[]).unwrap();
+            let star = Approach::HilStar.curve_for(family, 13, &mbr, &[]).unwrap();
+            assert_eq!(hil.family(), family);
+            assert_eq!(hil.extent(), &WORLD);
+            assert_eq!(star.extent(), &mbr);
+        }
+        // The default family reproduces the legacy concrete grids.
+        let legacy = Approach::Hil.curve(13, &mbr).unwrap();
+        let traited = Approach::Hil
+            .curve_for(CurveFamily::Hilbert, 13, &mbr, &[])
+            .unwrap();
+        let p = GeoPoint::new(23.7, 37.9);
+        assert_eq!(legacy.index_of(p), traited.index_of(p));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::approach::Approach;
 use sts_cluster::{LiveBalancerConfig, RecoveryPolicy};
-use sts_curve::RangeBudget;
-use sts_geo::GeoRect;
+use sts_curve::{CurveFamily, RangeBudget};
+use sts_geo::{GeoPoint, GeoRect};
 use sts_query::Planner;
 
 /// Everything needed to deploy one sharded spatio-temporal store.
@@ -18,6 +18,15 @@ pub struct StoreConfig {
     pub max_chunk_bytes: u64,
     /// Hilbert curve order, bits per axis (paper: 13).
     pub curve_order: u32,
+    /// Which curve family the curve-based approaches (`hil`/`hil*`) run
+    /// on. Defaults to Hilbert — the paper's configuration; the
+    /// alternatives (Z-order, onion, skew-adaptive GeoHash) plug into
+    /// the identical `hilbertIndex` key layout and shard-key machinery.
+    pub curve: CurveFamily,
+    /// Training sample for data-fitted curve families (skew GeoHash
+    /// bucket-boundary fitting). Ignored by the analytic families; an
+    /// empty sample degrades fitted families to uniform buckets.
+    pub curve_sample: Vec<GeoPoint>,
     /// GeoHash precision of 2dsphere index keys (MongoDB default 26).
     pub geo_bits: u32,
     /// Data MBR — the extent `hil*` fits its curve to. Ignored by the
@@ -44,6 +53,8 @@ impl Default for StoreConfig {
             num_shards: 12,
             max_chunk_bytes: 640 * 1024,
             curve_order: sts_curve::PAPER_CURVE_ORDER,
+            curve: CurveFamily::default(),
+            curve_sample: Vec::new(),
             geo_bits: sts_geo::DEFAULT_GEOHASH_BITS,
             // The paper's real data set MBR (§5.1) — a sensible default
             // for examples; override for your data.
@@ -67,5 +78,7 @@ mod tests {
         assert_eq!(c.num_shards, 12);
         assert_eq!(c.curve_order, 13);
         assert_eq!(c.geo_bits, 26);
+        assert_eq!(c.curve, CurveFamily::Hilbert);
+        assert!(c.curve_sample.is_empty());
     }
 }

@@ -1,0 +1,274 @@
+//! The [`Curve`] trait: a pluggable cell↔index mapping over a lon/lat
+//! extent, plus the [`CurveFamily`] registry the store config and the
+//! bench matrix select from.
+//!
+//! The paper evaluates exactly one curve (Hilbert, world vs data-MBR
+//! extent), but its locality claims are curve-generic: any bijection
+//! between grid cells and 1D indices that (a) keeps nearby cells in few
+//! index runs and (b) decomposes a query rectangle into sorted 1D
+//! ranges can drive the same `hilbertIndex` key layout, B-tree and
+//! shard-key machinery. This module abstracts that contract so the
+//! store can swap curves without touching the query path.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::onion::OnionCurve;
+use crate::ranges::RangeBudget;
+use crate::skewgh::SkewGeoHash;
+use crate::{CoveringScratch, CurveGrid, CurveKind};
+use sts_geo::{GeoPoint, GeoRect};
+
+/// A space-filling curve over a `2^order × 2^order` grid on a lon/lat
+/// extent.
+///
+/// Implementations must be bijections between grid cells and the index
+/// set `0..total_cells()`, and `decompose_rect_into` must emit sorted,
+/// disjoint, inclusive index ranges that cover *exactly* the cells
+/// overlapping the query rectangle (superset only under a binding
+/// [`RangeBudget`]). The differential oracles assume nothing else.
+pub trait Curve: Send + Sync + fmt::Debug {
+    /// Which family this curve belongs to (used for config round-trips,
+    /// bench labels and plan-cache keys).
+    fn family(&self) -> CurveFamily;
+
+    /// Bits per axis.
+    fn order(&self) -> u32;
+
+    /// The covered lon/lat extent.
+    fn extent(&self) -> &GeoRect;
+
+    /// Grid coordinates of the cell containing `p`; points outside the
+    /// extent clamp to the border cells.
+    fn cell_of(&self, p: GeoPoint) -> (u64, u64);
+
+    /// The 1D index of a grid cell.
+    fn index_of_cell(&self, x: u64, y: u64) -> u64;
+
+    /// Grid cell of a 1D index (inverse of [`index_of_cell`](Self::index_of_cell)).
+    fn cell_of_index(&self, d: u64) -> (u64, u64);
+
+    /// Geographic bounding box of a grid cell.
+    fn cell_rect(&self, x: u64, y: u64) -> GeoRect;
+
+    /// The grid-cell span `[x0..=x1] × [y0..=y1]` overlapping `rect`,
+    /// or `None` when the rectangle misses the extent entirely.
+    fn cell_span(&self, rect: &GeoRect) -> Option<(u64, u64, u64, u64)>;
+
+    /// Decompose the cell span `[x0..=x1] × [y0..=y1]` into sorted,
+    /// merged, inclusive 1D index ranges appended to `out`, reusing
+    /// `scratch` (the allocation-free form the query hot path uses).
+    fn decompose_cells_into(
+        &self,
+        span: (u64, u64, u64, u64),
+        budget: RangeBudget,
+        scratch: &mut CoveringScratch,
+        out: &mut Vec<(u64, u64)>,
+    );
+
+    // ---------------------------------------------- provided methods
+
+    /// Cells per axis (`2^order`).
+    fn cells_per_axis(&self) -> u64 {
+        1 << self.order()
+    }
+
+    /// Total number of distinct 1D values (`4^order`).
+    fn total_cells(&self) -> u64 {
+        1 << (2 * self.order())
+    }
+
+    /// The 1D curve index of the cell containing `p` — the value stored
+    /// in the `hilbertIndex` document field (the field name is part of
+    /// the on-disk schema and stays curve-agnostic).
+    fn index_of(&self, p: GeoPoint) -> u64 {
+        let (x, y) = self.cell_of(p);
+        self.index_of_cell(x, y)
+    }
+
+    /// Decompose a query rectangle into 1D index ranges appended to
+    /// `out`; no-op when the rectangle misses the extent.
+    fn decompose_rect_into(
+        &self,
+        rect: &GeoRect,
+        budget: RangeBudget,
+        scratch: &mut CoveringScratch,
+        out: &mut Vec<(u64, u64)>,
+    ) {
+        if let Some(span) = self.cell_span(rect) {
+            self.decompose_cells_into(span, budget, scratch, out);
+        }
+    }
+
+    /// Allocating convenience form of [`decompose_rect_into`](Self::decompose_rect_into).
+    fn decompose_rect(&self, rect: &GeoRect, budget: RangeBudget) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        self.decompose_rect_into(rect, budget, &mut CoveringScratch::new(), &mut out);
+        out
+    }
+
+    /// A stable fingerprint of the full cell geometry + topology,
+    /// suitable as a plan-cache key component: two curves with equal
+    /// fingerprints produce identical coverings for every rectangle.
+    /// Data-fitted curves (skew GeoHash) fold their bucket boundaries
+    /// in, so refitting on a new sample invalidates cached plans.
+    fn fingerprint(&self) -> u64 {
+        let e = self.extent();
+        let mut h = fnv1a(0xcbf2_9ce4_8422_2325, self.family() as u64);
+        h = fnv1a(h, u64::from(self.order()));
+        for v in [e.min_lon, e.min_lat, e.max_lon, e.max_lat] {
+            h = fnv1a(h, v.to_bits());
+        }
+        h
+    }
+}
+
+/// One FNV-1a style mixing step over a `u64` word.
+pub(crate) fn fnv1a(state: u64, word: u64) -> u64 {
+    let mut h = state;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The selectable curve families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CurveFamily {
+    /// Hilbert curve — the paper's choice (§4.2).
+    Hilbert,
+    /// Z-order (Morton) bit interleaving.
+    ZOrder,
+    /// Onion curve (Xu et al., arXiv:1801.07399): concentric square
+    /// rings from the grid boundary inward — near-optimal clustering
+    /// for range queries touching the domain edge.
+    Onion,
+    /// Entropy-maximizing skew-adaptive GeoHash (after Arnold 2015):
+    /// Z-order topology over per-axis bucket boundaries fit from a
+    /// data sample, so each cell holds a near-equal share of the data.
+    SkewGeoHash,
+}
+
+impl CurveFamily {
+    /// Every selectable family, in bench-matrix order.
+    pub const ALL: [CurveFamily; 4] = [
+        CurveFamily::Hilbert,
+        CurveFamily::ZOrder,
+        CurveFamily::Onion,
+        CurveFamily::SkewGeoHash,
+    ];
+
+    /// Canonical lower-case name (CLI flags, JSON rows, baseline keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            CurveFamily::Hilbert => "hilbert",
+            CurveFamily::ZOrder => "zorder",
+            CurveFamily::Onion => "onion",
+            CurveFamily::SkewGeoHash => "skewgh",
+        }
+    }
+
+    /// Parse a canonical name (plus a few obvious aliases).
+    pub fn parse(s: &str) -> Option<CurveFamily> {
+        match s.to_ascii_lowercase().as_str() {
+            "hilbert" | "hil" => Some(CurveFamily::Hilbert),
+            "zorder" | "z-order" | "morton" => Some(CurveFamily::ZOrder),
+            "onion" => Some(CurveFamily::Onion),
+            "skewgh" | "skew-geohash" | "geohash" => Some(CurveFamily::SkewGeoHash),
+            _ => None,
+        }
+    }
+
+    /// Build a curve of this family over `extent` at `order`.
+    ///
+    /// `sample` is only consulted by data-fitted families (skew
+    /// GeoHash); an empty sample degrades those to uniform buckets, so
+    /// every family is safe to build without data.
+    pub fn build(
+        self,
+        extent: &GeoRect,
+        order: u32,
+        sample: &[GeoPoint],
+    ) -> Arc<dyn Curve + 'static> {
+        match self {
+            CurveFamily::Hilbert => Arc::new(CurveGrid::new(*extent, order, CurveKind::Hilbert)),
+            CurveFamily::ZOrder => Arc::new(CurveGrid::new(*extent, order, CurveKind::ZOrder)),
+            CurveFamily::Onion => Arc::new(OnionCurve::new(*extent, order)),
+            CurveFamily::SkewGeoHash => Arc::new(SkewGeoHash::fit(*extent, order, sample)),
+        }
+    }
+}
+
+impl Default for CurveFamily {
+    /// Hilbert — the paper's configuration.
+    fn default() -> Self {
+        CurveFamily::Hilbert
+    }
+}
+
+impl fmt::Display for CurveFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CurveFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CurveFamily::parse(s).ok_or_else(|| {
+            let names: Vec<_> = CurveFamily::ALL.iter().map(|f| f.name()).collect();
+            format!(
+                "unknown curve family {s:?} (expected one of {})",
+                names.join("/")
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_geo::WORLD;
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in CurveFamily::ALL {
+            assert_eq!(CurveFamily::parse(f.name()), Some(f));
+            assert_eq!(f.name().parse::<CurveFamily>().unwrap(), f);
+        }
+        assert!("voronoi".parse::<CurveFamily>().is_err());
+    }
+
+    #[test]
+    fn factory_builds_every_family() {
+        for f in CurveFamily::ALL {
+            let c = f.build(&WORLD, 6, &[]);
+            assert_eq!(c.family(), f);
+            assert_eq!(c.order(), 6);
+            let p = GeoPoint::new(23.7, 37.9);
+            let d = c.index_of(p);
+            assert!(d < c.total_cells());
+            let (x, y) = c.cell_of_index(d);
+            assert_eq!(c.index_of_cell(x, y), d);
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_families_and_extents() {
+        let greece = GeoRect::new(19.6, 34.9, 28.2, 41.8);
+        let mut seen = Vec::new();
+        for f in CurveFamily::ALL {
+            for extent in [&WORLD, &greece] {
+                let fp = f.build(extent, 8, &[]).fingerprint();
+                assert!(!seen.contains(&fp), "fingerprint collision for {f}");
+                seen.push(fp);
+            }
+        }
+        // Deterministic: same construction, same fingerprint.
+        let a = CurveFamily::Hilbert.build(&greece, 8, &[]).fingerprint();
+        let b = CurveFamily::Hilbert.build(&greece, 8, &[]).fingerprint();
+        assert_eq!(a, b);
+    }
+}

@@ -1,9 +1,74 @@
 //! A space-filling curve laid over a lon/lat extent.
 
+use crate::curve::{Curve, CurveFamily};
 use crate::hilbert;
 use crate::ranges::{decompose_blocks, RangeBudget};
 use crate::zorder;
 use sts_geo::{GeoPoint, GeoRect, WORLD};
+
+/// Shared constructor validation for uniform-grid curves.
+pub(crate) fn validate_grid(extent: &GeoRect, order: u32) {
+    assert!(extent.is_valid(), "invalid grid extent {extent:?}");
+    assert!(
+        extent.lon_span() > 0.0 && extent.lat_span() > 0.0,
+        "degenerate grid extent {extent:?}"
+    );
+    assert!(
+        (1..=hilbert::MAX_ORDER).contains(&order),
+        "unsupported curve order {order}"
+    );
+}
+
+/// Cell containing `p` on a uniform `2^order` grid over `extent`
+/// (out-of-extent points clamp to the border cells).
+pub(crate) fn cell_of_uniform(extent: &GeoRect, order: u32, p: GeoPoint) -> (u64, u64) {
+    let n = 1u64 << order;
+    let fx = (p.lon - extent.min_lon) / extent.lon_span();
+    let fy = (p.lat - extent.min_lat) / extent.lat_span();
+    let clamp = |f: f64| -> u64 {
+        let v = (f * n as f64).floor();
+        if v < 0.0 {
+            0
+        } else if v >= n as f64 {
+            n - 1
+        } else {
+            v as u64
+        }
+    };
+    (clamp(fx), clamp(fy))
+}
+
+/// Geographic bounding box of cell `(x, y)` on a uniform grid.
+pub(crate) fn cell_rect_uniform(extent: &GeoRect, order: u32, x: u64, y: u64) -> GeoRect {
+    let n = (1u64 << order) as f64;
+    let w = extent.lon_span() / n;
+    let h = extent.lat_span() / n;
+    GeoRect::new(
+        extent.min_lon + x as f64 * w,
+        extent.min_lat + y as f64 * h,
+        extent.min_lon + (x as f64 + 1.0) * w,
+        extent.min_lat + (y as f64 + 1.0) * h,
+    )
+}
+
+/// The grid-cell span overlapping `rect` on a uniform grid, or `None`
+/// when the rectangle misses the extent entirely.
+pub(crate) fn cell_span_uniform(
+    extent: &GeoRect,
+    order: u32,
+    rect: &GeoRect,
+) -> Option<(u64, u64, u64, u64)> {
+    if !rect.intersects(extent) {
+        return None;
+    }
+    let lo = cell_of_uniform(extent, order, GeoPoint::new(rect.min_lon, rect.min_lat));
+    // The closed upper boundary belongs to the previous cell when it
+    // falls exactly on a grid line and the rect is non-degenerate;
+    // clamping inside `cell_of_uniform` already handles the extent
+    // border.
+    let hi = cell_of_uniform(extent, order, GeoPoint::new(rect.max_lon, rect.max_lat));
+    Some((lo.0, hi.0, lo.1, hi.1))
+}
 
 /// Which curve orders the grid cells.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,15 +107,7 @@ impl CurveGrid {
 
     /// Fully custom grid.
     pub fn new(extent: GeoRect, order: u32, kind: CurveKind) -> Self {
-        assert!(extent.is_valid(), "invalid grid extent {extent:?}");
-        assert!(
-            extent.lon_span() > 0.0 && extent.lat_span() > 0.0,
-            "degenerate grid extent {extent:?}"
-        );
-        assert!(
-            (1..=hilbert::MAX_ORDER).contains(&order),
-            "unsupported curve order {order}"
-        );
+        validate_grid(&extent, order);
         CurveGrid {
             extent,
             order,
@@ -87,20 +144,7 @@ impl CurveGrid {
     /// extent clamp to the border cells, like MongoDB clamps GeoHash
     /// inputs at the domain edge).
     pub fn cell_of(&self, p: GeoPoint) -> (u64, u64) {
-        let n = self.cells_per_axis();
-        let fx = (p.lon - self.extent.min_lon) / self.extent.lon_span();
-        let fy = (p.lat - self.extent.min_lat) / self.extent.lat_span();
-        let clamp = |f: f64| -> u64 {
-            let v = (f * n as f64).floor();
-            if v < 0.0 {
-                0
-            } else if v >= n as f64 {
-                n - 1
-            } else {
-                v as u64
-            }
-        };
-        (clamp(fx), clamp(fy))
+        cell_of_uniform(&self.extent, self.order, p)
     }
 
     /// The 1D curve index of the cell containing `p` — the value stored
@@ -128,29 +172,13 @@ impl CurveGrid {
 
     /// Geographic bounding box of a grid cell.
     pub fn cell_rect(&self, x: u64, y: u64) -> GeoRect {
-        let n = self.cells_per_axis() as f64;
-        let w = self.extent.lon_span() / n;
-        let h = self.extent.lat_span() / n;
-        GeoRect::new(
-            self.extent.min_lon + x as f64 * w,
-            self.extent.min_lat + y as f64 * h,
-            self.extent.min_lon + (x as f64 + 1.0) * w,
-            self.extent.min_lat + (y as f64 + 1.0) * h,
-        )
+        cell_rect_uniform(&self.extent, self.order, x, y)
     }
 
     /// The grid-cell span `[x0..=x1] × [y0..=y1]` overlapping `rect`,
     /// or `None` when the rectangle misses the extent entirely.
     pub fn cell_span(&self, rect: &GeoRect) -> Option<(u64, u64, u64, u64)> {
-        if !rect.intersects(&self.extent) {
-            return None;
-        }
-        let lo = self.cell_of(GeoPoint::new(rect.min_lon, rect.min_lat));
-        // The closed upper boundary belongs to the previous cell when it
-        // falls exactly on a grid line and the rect is non-degenerate;
-        // clamping inside `cell_of` already handles the extent border.
-        let hi = self.cell_of(GeoPoint::new(rect.max_lon, rect.max_lat));
-        Some((lo.0, hi.0, lo.1, hi.1))
+        cell_span_uniform(&self.extent, self.order, rect)
     }
 
     /// Decompose a query rectangle into sorted, merged, inclusive 1D
@@ -181,6 +209,55 @@ impl CurveGrid {
         let Some((x0, x1, y0, y1)) = self.cell_span(rect) else {
             return;
         };
+        crate::ranges::decompose_blocks_into(self, x0, x1, y0, y1, budget, scratch, out);
+    }
+}
+
+/// [`CurveGrid`] is the trait's reference implementation; the inherent
+/// methods above remain for callers holding a concrete grid.
+impl Curve for CurveGrid {
+    fn family(&self) -> CurveFamily {
+        match self.kind {
+            CurveKind::Hilbert => CurveFamily::Hilbert,
+            CurveKind::ZOrder => CurveFamily::ZOrder,
+        }
+    }
+
+    fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn extent(&self) -> &GeoRect {
+        &self.extent
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (u64, u64) {
+        CurveGrid::cell_of(self, p)
+    }
+
+    fn index_of_cell(&self, x: u64, y: u64) -> u64 {
+        CurveGrid::index_of_cell(self, x, y)
+    }
+
+    fn cell_of_index(&self, d: u64) -> (u64, u64) {
+        CurveGrid::cell_of_index(self, d)
+    }
+
+    fn cell_rect(&self, x: u64, y: u64) -> GeoRect {
+        CurveGrid::cell_rect(self, x, y)
+    }
+
+    fn cell_span(&self, rect: &GeoRect) -> Option<(u64, u64, u64, u64)> {
+        CurveGrid::cell_span(self, rect)
+    }
+
+    fn decompose_cells_into(
+        &self,
+        (x0, x1, y0, y1): (u64, u64, u64, u64),
+        budget: RangeBudget,
+        scratch: &mut crate::CoveringScratch,
+        out: &mut Vec<(u64, u64)>,
+    ) {
         crate::ranges::decompose_blocks_into(self, x0, x1, y0, y1, budget, scratch, out);
     }
 }

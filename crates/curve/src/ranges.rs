@@ -67,8 +67,8 @@ impl Default for RangeBudget {
 /// allocation.
 #[derive(Default)]
 pub struct CoveringScratch {
-    tree: IntervalTree,
-    gaps: Vec<(u64, u32)>,
+    pub(crate) tree: IntervalTree,
+    pub(crate) gaps: Vec<(u64, u32)>,
 }
 
 impl CoveringScratch {
@@ -113,9 +113,49 @@ pub(crate) fn decompose_blocks_into(
     scratch: &mut CoveringScratch,
     out: &mut Vec<(u64, u64)>,
 ) {
-    let size = 1u64 << grid.order();
+    decompose_blocks_generic_into(
+        grid.order(),
+        &|x, y| grid.index_of_cell(x, y),
+        x0,
+        x1,
+        y0,
+        y1,
+        budget,
+        scratch,
+        out,
+    );
+}
+
+/// Aligned-block decomposition for any curve whose aligned `2^k × 2^k`
+/// quadtree blocks are contiguous in index space (Hilbert, Z-order and
+/// every Z-order-topology variant regardless of cell geometry).
+/// `index_of_cell` is the curve's cell → index map.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decompose_blocks_generic_into<F: Fn(u64, u64) -> u64>(
+    order: u32,
+    index_of_cell: &F,
+    x0: u64,
+    x1: u64,
+    y0: u64,
+    y1: u64,
+    budget: RangeBudget,
+    scratch: &mut CoveringScratch,
+    out: &mut Vec<(u64, u64)>,
+) {
+    let size = 1u64 << order;
     scratch.tree.clear();
-    visit(grid, 0, 0, size, x0, x1, y0, y1, &mut scratch.tree);
+    visit(index_of_cell, 0, 0, size, x0, x1, y0, y1, &mut scratch.tree);
+    finish_covering(scratch, budget, out);
+}
+
+/// Drain the interval tree accumulated in `scratch` into `out` (sorted
+/// and merged) and coalesce down to the range budget — the shared tail
+/// of every curve's decomposition, block-recursive or ring-walking.
+pub(crate) fn finish_covering(
+    scratch: &mut CoveringScratch,
+    budget: RangeBudget,
+    out: &mut Vec<(u64, u64)>,
+) {
     let start = out.len();
     scratch.tree.drain_into(out);
     if let Some(kept) = coalesce_to_budget(&mut out[start..], budget.max_ranges, &mut scratch.gaps)
@@ -128,8 +168,8 @@ pub(crate) fn decompose_blocks_into(
 /// merges overlapping/adjacent index ranges as they arrive — the
 /// in-order drain is already the final covering.
 #[allow(clippy::too_many_arguments)]
-fn visit(
-    grid: &CurveGrid,
+fn visit<F: Fn(u64, u64) -> u64>(
+    index_of_cell: &F,
     bx: u64,
     by: u64,
     size: u64,
@@ -145,20 +185,30 @@ fn visit(
     }
     // Fully contained?
     if bx >= x0 && bx + size - 1 <= x1 && by >= y0 && by + size - 1 <= y1 {
-        let base = grid.index_of_cell(bx, by) & !(size * size - 1);
+        let base = index_of_cell(bx, by) & !(size * size - 1);
         out.insert(base, base + size * size - 1);
         return;
     }
     if size == 1 {
-        let d = grid.index_of_cell(bx, by);
+        let d = index_of_cell(bx, by);
         out.insert(d, d);
         return;
     }
     let half = size / 2;
-    visit(grid, bx, by, half, x0, x1, y0, y1, out);
-    visit(grid, bx + half, by, half, x0, x1, y0, y1, out);
-    visit(grid, bx, by + half, half, x0, x1, y0, y1, out);
-    visit(grid, bx + half, by + half, half, x0, x1, y0, y1, out);
+    visit(index_of_cell, bx, by, half, x0, x1, y0, y1, out);
+    visit(index_of_cell, bx + half, by, half, x0, x1, y0, y1, out);
+    visit(index_of_cell, bx, by + half, half, x0, x1, y0, y1, out);
+    visit(
+        index_of_cell,
+        bx + half,
+        by + half,
+        half,
+        x0,
+        x1,
+        y0,
+        y1,
+        out,
+    );
 }
 
 /// Sort and merge adjacent/overlapping inclusive ranges.

@@ -14,7 +14,10 @@
 mod support;
 
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use sts::cluster::{FailPoint, FailPointMode};
+use sts::core::Approach;
+use sts::curve::CurveFamily;
 use support::schedule::{replay, replay_or_explain, shrink, ScheduleCase, ScheduleOp};
 
 /// The acceptance matrix: 64 seeded schedules, each proven to have
@@ -25,8 +28,12 @@ fn sixty_four_seeded_schedules_match_the_oracle() {
     let mut total_commits = 0u64;
     let mut total_aborts = 0u64;
     let mut total_retries = 0u64;
+    let mut curve_combos: BTreeSet<(&str, &str)> = BTreeSet::new();
     for seed in 0..64u64 {
         let case = ScheduleCase::generate(seed);
+        if case.approach.uses_hilbert() {
+            curve_combos.insert((case.approach.name(), case.curve.name()));
+        }
         let report = replay_or_explain(&case);
         assert!(report.ingested > 0, "seed {seed}: no documents ingested");
         assert!(
@@ -59,6 +66,17 @@ fn sixty_four_seeded_schedules_match_the_oracle() {
         total_retries > 0,
         "no migration ever retried a transient fault"
     );
+    // Non-vacuity for the curve zoo: both curve-based approaches must
+    // have run under every family in the matrix — eight combinations,
+    // each replayed four times across the 64 seeds.
+    for approach in [Approach::Hil, Approach::HilStar] {
+        for family in CurveFamily::ALL {
+            assert!(
+                curve_combos.contains(&(approach.name(), family.name())),
+                "the seed matrix never ran {approach} on {family}"
+            );
+        }
+    }
 }
 
 /// Satellite: a migration that loses its shard to a transient
@@ -217,6 +235,8 @@ fn store_with(case: &ScheduleCase) -> sts::core::StStore {
         num_shards: NUM_SHARDS,
         max_chunk_bytes: 24 * 1024,
         data_mbr: sts::geo::GeoRect::new(20.0, 35.0, 28.0, 41.5),
+        curve: case.curve,
+        curve_sample: support::curve_sample_of(&case.base),
         ..Default::default()
     });
     store.bulk_load(case.base.iter().cloned()).unwrap();

@@ -1,15 +1,18 @@
 //! Differential testing: every approach (`bslST`, `bslTS`, `hil`,
 //! `hil*`) must return exactly the full-scan oracle's result set on
-//! random spatio-temporal workloads.
+//! random spatio-temporal workloads — and the curve-based approaches
+//! must do so on *every* curve family in the zoo (Hilbert, Z-order,
+//! onion, skew-adaptive GeoHash).
 
 mod support;
 
 use proptest::prelude::*;
 use sts::core::{Approach, StQuery};
+use sts::curve::CurveFamily;
 use sts::document::{doc, DateTime, Document, Value};
 use sts::geo::GeoRect;
 use support::oracle::{result_id_set, Oracle};
-use support::store_for;
+use support::{store_for, store_for_curve};
 
 /// Spatial box the random corpus lives in (roughly the paper's R MBR).
 const LON_MIN: f64 = 20.0;
@@ -93,6 +96,28 @@ fn assert_matches_oracle(oracle: &Oracle, queries: &[StQuery]) {
     assert_matches_oracle_in(oracle, queries, data_mbr());
 }
 
+/// The curve-zoo sweep: both curve-based approaches on every family
+/// must return exactly the oracle's result set.
+fn assert_curve_zoo_matches_oracle_in(oracle: &Oracle, queries: &[StQuery], mbr: GeoRect) {
+    for approach in [Approach::Hil, Approach::HilStar] {
+        for family in CurveFamily::ALL {
+            let store = store_for_curve(approach, family, oracle.docs(), mbr, 4);
+            for q in queries {
+                let (docs, report) = store.st_query(q);
+                assert_eq!(
+                    result_id_set(&docs),
+                    oracle.id_set(q),
+                    "{approach}/{family} disagrees with the oracle on {q:?}"
+                );
+                assert_eq!(report.cluster.n_returned(), oracle.count(q));
+                assert!(report.hilbert_ranges > 0 || oracle.count(q) == 0);
+                assert!(!report.cluster.partial);
+                assert!(report.cluster.fault_free());
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -156,6 +181,18 @@ proptest! {
         let oracle = Oracle::new(corpus(&points));
         assert_matches_oracle(&oracle, &queries);
     }
+
+    /// Every curve family in the zoo is exact on random corpora and
+    /// random query boxes (the full-scan differential oracle applied
+    /// per-curve, acceptance criterion of the curve-zoo refactor).
+    #[test]
+    fn curve_zoo_matches_the_oracle(
+        points in proptest::collection::vec(point(), 100..180),
+        queries in proptest::collection::vec(query(), 1..4),
+    ) {
+        let oracle = Oracle::new(corpus(&points));
+        assert_curve_zoo_matches_oracle_in(&oracle, &queries, data_mbr());
+    }
 }
 
 /// The paper's own workload, differentially checked on the fleet
@@ -180,4 +217,6 @@ fn paper_workload_matches_the_oracle() {
         .map(|(_, _, q)| q)
         .collect();
     assert_matches_oracle_in(&oracle, &queries, R_MBR);
+    // And the same fleet workload holds on every curve in the zoo.
+    assert_curve_zoo_matches_oracle_in(&oracle, &queries, R_MBR);
 }

@@ -34,9 +34,11 @@ use std::time::Duration;
 
 use sts::cluster::{FailPoint, FailPointMode};
 use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::curve::CurveFamily;
 use sts::document::{doc, DateTime, Document, Value};
 use sts::geo::GeoRect;
 
+use super::curve_sample_of;
 use super::oracle::Oracle;
 
 /// Spatial box the corpus lives in (as in the differential-oracle
@@ -117,6 +119,10 @@ impl FaultSpec {
 pub struct ScheduleCase {
     pub seed: u64,
     pub approach: Approach,
+    /// Curve family the deployment runs on (only consulted by the
+    /// curve-based approaches). Seeds stride through the zoo so a
+    /// 64-seed matrix covers every approach×curve combination.
+    pub curve: CurveFamily,
     /// Bulk-loaded before the schedule runs (always visible).
     pub base: Vec<Document>,
     /// Ingested by `Stage` ops, batch by batch.
@@ -281,6 +287,10 @@ impl ScheduleCase {
     pub fn generate(seed: u64) -> Self {
         let mut rng = Rng::new(seed ^ 0x5C4E_D01E_u64.rotate_left(7));
         let approach = Approach::ALL[(seed as usize) % Approach::ALL.len()];
+        // The curve strides four times slower than the approach, so
+        // seeds 0..16 already span every (approach, curve) pair and
+        // 64 seeds visit each pair four times.
+        let curve = CurveFamily::ALL[((seed / 4) as usize) % CurveFamily::ALL.len()];
         let base: Vec<Document> = (0..BASE_DOCS)
             .map(|i| point_doc(&mut rng, i as u32))
             .collect();
@@ -369,6 +379,7 @@ impl ScheduleCase {
         ScheduleCase {
             seed,
             approach,
+            curve,
             base,
             incoming,
             queries,
@@ -463,6 +474,11 @@ pub fn replay(case: &ScheduleCase) -> Result<ReplayReport, ReplayError> {
         num_shards: NUM_SHARDS,
         max_chunk_bytes: MAX_CHUNK_BYTES,
         data_mbr: data_mbr(),
+        curve: case.curve,
+        // Fit data-adaptive families on the bulk-loaded corpus only —
+        // the staged batches arrive *after* deployment, exactly like
+        // production ingest against an already-fitted curve.
+        curve_sample: curve_sample_of(&case.base),
         ..Default::default()
     });
     store
@@ -640,8 +656,8 @@ pub fn dump_failure(case: &ScheduleCase, error: &ReplayError) -> PathBuf {
     let mut body = String::new();
     let _ = write!(
         body,
-        r#"{{"seed":{},"approach":"{}","failed_op":{},"error":{:?},"ops":["#,
-        case.seed, case.approach, error.op_index, error.message
+        r#"{{"seed":{},"approach":"{}","curve":"{}","failed_op":{},"error":{:?},"ops":["#,
+        case.seed, case.approach, case.curve, error.op_index, error.message
     );
     for (i, op) in case.ops.iter().enumerate() {
         if i > 0 {
@@ -664,11 +680,12 @@ pub fn replay_or_explain(case: &ScheduleCase) -> ReplayReport {
             let error = replay(&minimal).err().unwrap_or(e.clone());
             let path = dump_failure(&minimal, &error);
             panic!(
-                "schedule seed {} ({}) failed: {e}\n\
+                "schedule seed {} ({} on {}) failed: {e}\n\
                  shrunk to {} ops (from {}), failing with: {error}\n\
                  repro dumped to {}",
                 case.seed,
                 case.approach,
+                case.curve,
                 minimal.ops.len(),
                 case.ops.len(),
                 path.display()
