@@ -11,15 +11,24 @@
 //!
 //! ```text
 //! cargo run -p sts-bench --release --bin ingestsmoke -- \
-//!     --scale 0.002 --batch 500 --json results/INGEST_ci.json
+//!     --scale 0.002 --batch 500 --json results/INGEST_ci.json \
+//!     --timeline-json results/TIMELINE_ingest.json
 //! ```
+//!
+//! With `--timeline-json` the telemetry timeline rides the whole run:
+//! windowed metric deltas on the virtual clock, balancer
+//! splits/migrations as event annotations, and the post-ingest
+//! workload's latencies against the default query SLO. The bundle is
+//! validated (`sts-timeline/1`) before writing; a validation failure
+//! exits non-zero.
 
-use serde::Serialize;
+use serde::{Json, Serialize};
 use std::time::Instant;
+use sts_bench::timeline_report::{validate_bundle, TimelineReportConfig};
 use sts_bench::{save_json_to, utc_date_string, Dataset, HarnessConfig};
-use sts_core::{Approach, StQuery, StStore, StoreConfig};
+use sts_core::{Approach, StQuery, StStore, StoreConfig, TimelineConfig};
 use sts_document::DateTime;
-use sts_obs::Histogram;
+use sts_obs::{timeline_json, Histogram, Registry, TIMELINE_SCHEMA};
 use sts_workload::fleet::{FleetConfig, FleetStream};
 use sts_workload::queries::full_workload;
 use sts_workload::Record;
@@ -71,6 +80,7 @@ fn main() {
     let (cfg, rest) = HarnessConfig::from_args(&args);
     let mut batch_size = 500usize;
     let mut json_path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| -> Option<String> {
@@ -84,6 +94,8 @@ fn main() {
             batch_size = v.parse().expect("--batch takes an integer");
         } else if let Some(v) = grab("--json") {
             json_path = Some(v);
+        } else if let Some(v) = grab("--timeline-json") {
+            timeline_path = Some(v);
         } else {
             eprintln!("unknown arg: {a}");
             std::process::exit(2);
@@ -121,9 +133,17 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut timeline_runs: Vec<Json> = Vec::new();
     let mut expected_results: Option<u64> = None;
     for approach in Approach::ALL {
-        let row = run_one(approach, &fleet, &cfg, batch_size, &queries);
+        let row = run_one(
+            approach,
+            &fleet,
+            &cfg,
+            batch_size,
+            &queries,
+            timeline_path.is_some().then_some(&mut timeline_runs),
+        );
         match expected_results {
             None => expected_results = Some(row.workload_results),
             Some(want) => assert_eq!(
@@ -163,6 +183,23 @@ fn main() {
     });
     save_json_to(&path, &report).expect("write ingest report");
     println!("wrote {}", path.display());
+
+    if let Some(tpath) = timeline_path {
+        let bundle = sts_obs::sort_json_keys(Json::Obj(vec![
+            ("schema".into(), Json::Str(TIMELINE_SCHEMA.into())),
+            ("generatedAt".into(), Json::Str(utc_date_string())),
+            ("curve".into(), Json::Str(cfg.curve.name().to_string())),
+            ("seed".into(), Json::UInt(cfg.seed)),
+            ("runs".into(), Json::Arr(timeline_runs)),
+        ]));
+        if let Err(e) = validate_bundle(&bundle) {
+            eprintln!("ingestsmoke: timeline bundle failed validation: {e}");
+            std::process::exit(1);
+        }
+        let tpath = std::path::PathBuf::from(tpath);
+        save_json_to(&tpath, &bundle).expect("write timeline bundle");
+        println!("wrote {}", tpath.display());
+    }
 }
 
 fn dataset_start() -> DateTime {
@@ -175,6 +212,7 @@ fn run_one(
     cfg: &HarnessConfig,
     batch_size: usize,
     queries: &[StQuery],
+    timeline_runs: Option<&mut Vec<Json>>,
 ) -> ApproachRow {
     // Fit data-adaptive curve families on a prefix of the same fleet
     // stream (deterministic in the seed), mirroring a deployment that
@@ -192,6 +230,19 @@ fn run_one(
         curve_sample: sts_bench::curve_training_sample(&sample_records),
         ..Default::default()
     });
+    if timeline_runs.is_some() {
+        // Private registry + timeline: windowed deltas, balancer event
+        // annotations, and the post-ingest workload's query SLO.
+        let tcfg = TimelineReportConfig::default();
+        store.set_metrics_registry(std::sync::Arc::new(Registry::new()));
+        store.enable_timeline(
+            TimelineConfig {
+                window: tcfg.window,
+                capacity: tcfg.capacity,
+            },
+            Some(tcfg.policy()),
+        );
+    }
     let chunks0 = store.cluster().chunk_map().len();
 
     let batch_latency = Histogram::new();
@@ -211,6 +262,24 @@ fn run_one(
         let (docs, report) = store.st_query(q);
         assert!(!report.cluster.partial, "no faults armed, never partial");
         workload_results += docs.len() as u64;
+    }
+
+    if let Some(runs) = timeline_runs {
+        let (timeline, _folded) = store
+            .finish_timeline()
+            .expect("timeline was enabled for this run");
+        if let Err(e) = timeline.validate() {
+            eprintln!("ingestsmoke: {approach}: timeline invariant violated: {e}");
+            std::process::exit(1);
+        }
+        runs.push(timeline_json(
+            &timeline,
+            &[
+                ("approach", approach.name()),
+                ("curve", cfg.curve.name()),
+                ("dataset", "R"),
+            ],
+        ));
     }
 
     let stats = store.cluster().migration_stats();

@@ -10,6 +10,7 @@
 //! aligned text and are archived as JSON under `results/`.
 
 pub mod obsreport;
+pub mod timeline_report;
 
 use serde::Serialize;
 use std::time::Duration;

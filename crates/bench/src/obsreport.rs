@@ -335,7 +335,7 @@ impl ObsReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let doc = Json::Obj(vec![
             ("schema".into(), Json::Str("sts-obsreport/1".into())),
             ("queries".into(), Json::UInt(self.queries as u64)),
             ("curve".into(), Json::Str(self.curve.clone())),
@@ -345,7 +345,10 @@ impl ObsReport {
                 Json::UInt(self.threshold.as_micros() as u64),
             ),
             ("approaches".into(), Json::Arr(approaches)),
-        ])
+        ]);
+        // Canonical form: recursively sorted keys, so exported reports
+        // diff cleanly run-to-run and across schema consumers.
+        sts_obs::sort_json_keys(doc)
     }
 }
 

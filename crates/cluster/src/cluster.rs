@@ -216,6 +216,18 @@ impl Cluster {
         self.health.snapshot(&self.chunks, &self.docs_per_shard())
     }
 
+    /// Balancer events with `seq >= from`, in order — the incremental
+    /// read the telemetry timeline uses to annotate splits/migrations
+    /// right after a batch commit without cloning the whole ledger.
+    pub fn balancer_events_since(&self, from: u64) -> Vec<crate::health::BalancerEvent> {
+        self.health.events_since(from)
+    }
+
+    /// Total balancer events recorded so far (the next event's `seq`).
+    pub fn balancer_event_count(&self) -> u64 {
+        self.health.event_count()
+    }
+
     /// The failpoint registry. Arming takes `&self` (interior
     /// mutability), like `configureFailPoint` against a live server.
     pub fn fault_injector(&self) -> &FaultInjector {

@@ -67,6 +67,41 @@ pub enum BalancerEventKind {
     Jumbo,
 }
 
+impl BalancerEventKind {
+    /// Dotted event name for timeline annotations and trace overlays.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BalancerEventKind::Split => "balancer.split",
+            BalancerEventKind::Migrate { .. } => "balancer.migrate",
+            BalancerEventKind::MigrateAborted { .. } => "balancer.migrate-aborted",
+            BalancerEventKind::Jumbo => "balancer.jumbo",
+        }
+    }
+}
+
+impl BalancerEvent {
+    /// Human-readable one-line detail for timeline annotations, e.g.
+    /// `chunk 1a2b…: shard 0 → 2 (17 docs)`.
+    pub fn detail(&self) -> String {
+        let min = self
+            .chunk_min
+            .iter()
+            .take(4)
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>();
+        match &self.kind {
+            BalancerEventKind::Split => format!("chunk {min}: split"),
+            BalancerEventKind::Migrate { from, to, docs } => {
+                format!("chunk {min}: shard {from} → {to} ({docs} docs)")
+            }
+            BalancerEventKind::MigrateAborted { from, to } => {
+                format!("chunk {min}: shard {from} → {to} aborted")
+            }
+            BalancerEventKind::Jumbo => format!("chunk {min}: jumbo"),
+        }
+    }
+}
+
 /// Interior-mutable health ledger owned by the cluster.
 pub(crate) struct ClusterHealth {
     shards: Vec<ShardLoad>,
@@ -119,6 +154,20 @@ impl ClusterHealth {
             chunk_min,
             kind,
         });
+    }
+
+    /// Total balancer events recorded so far (== the next `seq`).
+    pub(crate) fn event_count(&self) -> u64 {
+        self.events.lock().unwrap().len() as u64
+    }
+
+    /// Events with `seq >= from`, in order — the incremental read the
+    /// timeline uses to annotate new balancer activity without cloning
+    /// the whole history at every batch commit.
+    pub(crate) fn events_since(&self, from: u64) -> Vec<BalancerEvent> {
+        let events = self.events.lock().unwrap();
+        let start = (from as usize).min(events.len());
+        events[start..].to_vec()
     }
 
     /// Point-in-time aggregation against the current routing table.

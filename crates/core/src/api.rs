@@ -13,9 +13,19 @@ use sts_cluster::{
 use sts_curve::Curve;
 use sts_document::Document;
 use sts_index::geo_point_of;
-use sts_obs::{Registry, Trace, TraceId};
+use sts_obs::{FoldedStacks, Registry, SloPolicy, Timeline, TimelineConfig, Trace, TraceId};
 use sts_query::Filter;
 use sts_storage::CollectionStats;
+
+/// Continuous-telemetry state: the windowed timeline plus the
+/// cross-query flamegraph aggregate and the balancer-event cursor used
+/// to annotate splits/migrations incrementally.
+struct Telemetry {
+    timeline: Timeline,
+    folded: FoldedStacks,
+    /// Next balancer-event `seq` to drain from the health ledger.
+    last_event_seq: u64,
+}
 
 /// A deployed spatio-temporal store: one approach, one sharded cluster.
 pub struct StStore {
@@ -27,6 +37,10 @@ pub struct StStore {
     /// covering list). Queries take `&self`, hence the mutex; it is
     /// uncontended in the single-router simulator.
     cover: Mutex<CoverBuffers>,
+    /// Continuous telemetry (disabled until
+    /// [`StStore::enable_timeline`]). `&self` recording, like the
+    /// profiler.
+    telemetry: Mutex<Option<Telemetry>>,
 }
 
 impl StStore {
@@ -56,6 +70,7 @@ impl StStore {
             cluster,
             profiler: Profiler::default(),
             cover: Mutex::new(CoverBuffers::new()),
+            telemetry: Mutex::new(None),
         }
     }
 
@@ -135,18 +150,118 @@ impl StStore {
         self.cluster.health_snapshot()
     }
 
+    /// Turn on continuous telemetry: a windowed [`Timeline`] over this
+    /// store's metrics registry (optionally tracking `slo`), plus the
+    /// cross-query folded-stacks flamegraph aggregate. Every query
+    /// advances the timeline's virtual clock by its
+    /// `QueryReport::total_time()`; every batch commit advances it by
+    /// the batch's measured wall time and stamps balancer
+    /// split/migration events from the health ledger as timeline
+    /// annotations. Re-enabling restarts from a fresh base sample.
+    pub fn enable_timeline(&self, cfg: TimelineConfig, slo: Option<SloPolicy>) {
+        let mut timeline = Timeline::new(self.metrics_registry().clone(), cfg);
+        if let Some(policy) = slo {
+            timeline.set_slo(policy);
+        }
+        *self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Telemetry {
+            timeline,
+            folded: FoldedStacks::new(),
+            last_event_seq: self.cluster.balancer_event_count(),
+        });
+    }
+
+    /// Whether continuous telemetry is currently recording.
+    pub fn timeline_enabled(&self) -> bool {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Inspect the live timeline without stopping it (mid-run probes
+    /// in tests and benches).
+    pub fn with_timeline<R>(&self, f: impl FnOnce(&Timeline) -> R) -> Option<R> {
+        let guard = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.as_ref().map(|tel| f(&tel.timeline))
+    }
+
+    /// Stop continuous telemetry: drain any still-unseen balancer
+    /// events, seal the final partial window, and hand back the
+    /// finished timeline plus the cross-query flamegraph aggregate.
+    pub fn finish_timeline(&self) -> Option<(Timeline, FoldedStacks)> {
+        let taken = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        taken.map(|mut tel| {
+            for e in self.cluster.balancer_events_since(tel.last_event_seq) {
+                tel.timeline.annotate(e.kind.name(), e.detail());
+            }
+            tel.timeline.finish();
+            (tel.timeline, tel.folded)
+        })
+    }
+
+    /// Annotate the timeline after a write-path operation: an optional
+    /// leading event, then every balancer event the operation appended
+    /// to the health ledger, then advance the virtual clock by the
+    /// operation's measured wall time.
+    fn timeline_note_write(&self, lead: Option<(&str, String)>, wall: std::time::Duration) {
+        let mut guard = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(tel) = guard.as_mut() else {
+            return;
+        };
+        if let Some((kind, detail)) = lead {
+            tel.timeline.annotate(kind, detail);
+        }
+        let events = self.cluster.balancer_events_since(tel.last_event_seq);
+        tel.last_event_seq += events.len() as u64;
+        for e in events {
+            tel.timeline.annotate(e.kind.name(), e.detail());
+        }
+        tel.timeline.advance(wall);
+    }
+
     /// Post-execution bookkeeping shared by every query path: the
-    /// covering histogram (Hilbert methods decompose on every query)
-    /// and the slow-query profiler.
+    /// covering histogram (Hilbert methods decompose on every query),
+    /// the end-to-end latency histogram, the continuous timeline (SLO
+    /// accounting + flamegraph folding + virtual-clock advance) and
+    /// the slow-query profiler.
     fn observe_query(&self, kind: QueryKind, query: StQuery, report: &QueryReport) {
+        let obs = self.metrics_registry();
         if self.curve.is_some() {
-            let obs = self.metrics_registry();
             obs.record("query.covering", report.hilbert_time);
             // Distribution of covering sizes, not just a running total:
             // obs-report renders p50/p95/max so a budget regression (or a
             // pathological query shape) is visible at a glance.
             obs.histogram("query.covering_ranges")
                 .record_value(report.hilbert_ranges as u64);
+        }
+        let total = report.total_time();
+        // End-to-end virtual latency (covering + cluster wall + injected
+        // recovery delay) — the histogram the timeline windows and the
+        // SLO threshold judge.
+        obs.record("query.total", total);
+        {
+            let mut guard = self
+                .telemetry
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(tel) = guard.as_mut() {
+                tel.timeline.observe_latency(total);
+                report.fold_stages(&mut tel.folded);
+                tel.timeline.advance(total);
+            }
         }
         self.profiler
             .observe(kind, self.config.approach, query, report);
@@ -254,7 +369,13 @@ impl StStore {
             .into_iter()
             .map(|mut d| self.augment(&mut d).map(|()| d))
             .collect();
-        self.cluster.ingest(augmented?)
+        let started = std::time::Instant::now();
+        let n = self.cluster.ingest(augmented?)?;
+        self.timeline_note_write(
+            Some(("ingest.commit", format!("{n} docs"))),
+            started.elapsed(),
+        );
+        Ok(n)
     }
 
     /// Stage one document into the in-flight ingest batch without
@@ -268,21 +389,31 @@ impl StStore {
 
     /// Publish the in-flight staged batch and run the live balancer.
     pub fn commit_batch(&mut self) {
+        let started = std::time::Instant::now();
         self.cluster.commit_batch();
+        self.timeline_note_write(
+            Some(("ingest.commit", "staged batch".to_string())),
+            started.elapsed(),
+        );
     }
 
     /// Split chunk `cidx` at its median shard key (jumbo marking
     /// applies as usual). Schedule-driven tests use this to interleave
     /// balancer actions with ingest and queries at exact points.
     pub fn split_chunk(&mut self, cidx: usize) {
+        let started = std::time::Instant::now();
         self.cluster.split_chunk(cidx);
+        self.timeline_note_write(None, started.elapsed());
     }
 
     /// Migrate chunk `cidx` to shard `dst` through the fault-aware
     /// two-phase protocol; `false` means the migration rolled back and
     /// the chunk stayed on its donor.
     pub fn migrate_chunk(&mut self, cidx: usize, dst: usize) -> bool {
-        self.cluster.migrate_chunk(cidx, dst)
+        let started = std::time::Instant::now();
+        let moved = self.cluster.migrate_chunk(cidx, dst);
+        self.timeline_note_write(None, started.elapsed());
+        moved
     }
 
     /// Execute a spatio-temporal range query.
@@ -293,6 +424,7 @@ impl StStore {
             cluster,
             hilbert_time,
             hilbert_ranges,
+            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
         };
         self.observe_query(QueryKind::Find, *query, &report);
         (docs, report)
@@ -350,6 +482,7 @@ impl StStore {
             cluster,
             hilbert_time,
             hilbert_ranges,
+            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
         };
         // The profiler records the polygon's bounding box as the shape.
         let shape = StQuery {
@@ -385,6 +518,7 @@ impl StStore {
             cluster,
             hilbert_time,
             hilbert_ranges,
+            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
         };
         self.observe_query(QueryKind::TopK, *query, &report);
         (docs, report)
@@ -404,6 +538,7 @@ impl StStore {
             cluster,
             hilbert_time,
             hilbert_ranges,
+            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
         };
         self.observe_query(QueryKind::Aggregate, *query, &report);
         (docs, report)

@@ -71,7 +71,7 @@ pub use report::QueryReport;
 pub use sts_cluster::{
     FailPoint, FailPointMode, FaultKind, HealthSnapshot, RecoveryPolicy, ShardRecovery, Skew,
 };
-pub use sts_obs::{Trace, TraceError, TraceId};
+pub use sts_obs::{FoldedStacks, SloPolicy, Timeline, TimelineConfig, Trace, TraceError, TraceId};
 pub use sts_query::QueryError;
 
 /// Document field holding the GeoJSON point.

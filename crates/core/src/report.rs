@@ -16,6 +16,13 @@ pub struct QueryReport {
     pub hilbert_time: Duration,
     /// Number of 1D ranges the decomposition produced.
     pub hilbert_ranges: usize,
+    /// Fingerprint of the exact fitted curve that served the query
+    /// (`Curve::fingerprint`; `None` for the curve-less baselines).
+    /// Surfaced in `explain()` and trace metadata so every report
+    /// identifies the curve geometry — and, for data-fitted curves,
+    /// the boundary fit — behind its covering; this is the plan-cache
+    /// key component the router tier will reuse.
+    pub curve_fingerprint: Option<u64>,
 }
 
 impl QueryReport {
@@ -54,7 +61,7 @@ impl QueryReport {
             .iter()
             .map(|s| Value::Document(shard_explain(s)))
             .collect();
-        doc! {
+        let mut d = doc! {
             "nReturned" => self.cluster.n_returned() as i64,
             "executionTimeMicros" => micros(self.cluster.wall),
             "clusterLatencyMicros" => micros(self.cluster.max_shard_total_time()),
@@ -68,6 +75,35 @@ impl QueryReport {
             "routingMicros" => micros(self.cluster.routing),
             "mergeMicros" => micros(self.cluster.merge),
             "shards" => shards,
+        };
+        if let Some(fp) = self.curve_fingerprint {
+            d.set("curveFingerprint", format!("{fp:016x}"));
+        }
+        d
+    }
+
+    /// Fold this query's stage breakdown into a cross-query
+    /// [`sts_obs::FoldedStacks`] aggregate (semicolon-joined frame paths, values
+    /// in nanoseconds of virtual stage time) — rendered by
+    /// `obs-report --timeline` for `flamegraph.pl`/inferno.
+    pub fn fold_stages(&self, out: &mut sts_obs::FoldedStacks) {
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        out.add_frames(&["stQuery", Stage::Covering.name()], ns(self.hilbert_time));
+        out.add_frames(
+            &["stQuery", Stage::Routing.name()],
+            ns(self.cluster.routing),
+        );
+        out.add_frames(&["stQuery", Stage::Merge.name()], ns(self.cluster.merge));
+        for s in &self.cluster.per_shard {
+            let b = s.stage_breakdown();
+            for (stage, d) in [
+                (Stage::Recovery, b.recovery),
+                (Stage::Planning, b.planning),
+                (Stage::IndexScan, b.index_scan),
+                (Stage::FetchFilter, b.fetch_filter),
+            ] {
+                out.add_frames(&["stQuery", "shardExec", stage.name()], ns(d));
+            }
         }
     }
 
@@ -98,6 +134,9 @@ impl QueryReport {
         t.set_arg(root, "nodes", self.cluster.nodes());
         t.set_arg(root, "broadcast", self.cluster.broadcast);
         t.set_arg(root, "partial", self.cluster.partial);
+        if let Some(fp) = self.curve_fingerprint {
+            t.set_arg(root, "curveFingerprint", format!("{fp:016x}"));
+        }
         if covering > Duration::ZERO || self.hilbert_ranges > 0 {
             let cov = t.add_child(
                 root,
@@ -218,6 +257,7 @@ mod tests {
             },
             hilbert_time: Duration::from_micros(5),
             hilbert_ranges: 4,
+            curve_fingerprint: None,
         };
         assert_eq!(r.cluster_latency(), Duration::from_millis(11));
         assert_eq!(r.execution_time(), Duration::from_millis(25));
@@ -256,9 +296,14 @@ mod tests {
             },
             hilbert_time: Duration::from_micros(9),
             hilbert_ranges: 4,
+            curve_fingerprint: Some(0xdead_beef_0042_cafe),
         };
         let e = r.explain();
         assert_eq!(e.get("nReturned"), Some(&Value::Int64(2)));
+        assert_eq!(
+            e.get("curveFingerprint"),
+            Some(&Value::String("deadbeef0042cafe".into()))
+        );
         assert_eq!(e.get("routingMicros"), Some(&Value::Int64(4)));
         assert_eq!(e.get("mergeMicros"), Some(&Value::Int64(6)));
         let cov = match e.get("covering") {
@@ -305,5 +350,44 @@ mod tests {
         // Recovery's injected delay lands in its own stage.
         assert_eq!(stages.get("recoveryMicros"), Some(&Value::Int64(5_000)));
         assert_eq!(stages.get("indexScanMicros"), Some(&Value::Int64(60)));
+    }
+
+    #[test]
+    fn fold_stages_aggregates_across_queries() {
+        let shard = ShardExecution::clean(
+            1,
+            ExecutionStats {
+                duration: Duration::from_micros(100),
+                planning: Duration::from_micros(10),
+                fetch_time: Duration::from_micros(40),
+                ..Default::default()
+            },
+        );
+        let r = QueryReport {
+            cluster: ClusterQueryReport {
+                per_shard: vec![shard],
+                routing: Duration::from_micros(4),
+                merge: Duration::from_micros(6),
+                ..Default::default()
+            },
+            hilbert_time: Duration::from_micros(9),
+            hilbert_ranges: 4,
+            curve_fingerprint: None,
+        };
+        let mut f = sts_obs::FoldedStacks::new();
+        r.fold_stages(&mut f);
+        r.fold_stages(&mut f); // second query merges into the same stacks
+        let rendered = f.render();
+        assert!(rendered.contains("stQuery;covering 18000\n"), "{rendered}");
+        assert!(
+            rendered.contains("stQuery;shardExec;indexScan 120000\n"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("stQuery;shardExec;fetchFilter 80000\n"),
+            "{rendered}"
+        );
+        // Clean shard: no recovery frame at all.
+        assert!(!rendered.contains("recovery"), "{rendered}");
     }
 }

@@ -1,0 +1,674 @@
+//! Exporters for metrics and timelines: Prometheus text exposition,
+//! schema-versioned `sts-timeline/1` JSON, Perfetto counter tracks
+//! with event overlays, and folded-stacks flamegraph output.
+//!
+//! All JSON leaving this module has its object keys in deterministic
+//! sorted order ([`sort_json_keys`]) so committed artifacts diff
+//! cleanly across runs — the registry is already `BTreeMap`-backed,
+//! and the canonicalizer makes the guarantee recursive and explicit.
+
+use crate::histogram::HistogramCounts;
+use crate::registry::RegistrySnapshot;
+use crate::timeline::Timeline;
+use serde::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Schema tag of the timeline JSON export.
+pub const TIMELINE_SCHEMA: &str = "sts-timeline/1";
+
+// ---------------------------------------------------------------- text
+
+/// Sanitize a dotted metric name into a Prometheus metric name:
+/// `query.covering_ranges` → `sts_query_covering_ranges`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("sts_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prometheus_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Render a registry snapshot in the Prometheus text exposition
+/// format. Counters become `<name>_total`; histograms are rendered as
+/// summaries with `quantile` labels plus `_sum`/`_count`, in seconds.
+/// `labels` (e.g. `approach`/`curve`) are attached to every sample.
+pub fn prometheus_text(snap: &RegistrySnapshot, labels: &[(&str, &str)]) -> String {
+    let base = prometheus_labels(labels);
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let m = prometheus_name(name);
+        out.push_str(&format!("# TYPE {m}_total counter\n"));
+        out.push_str(&format!("{m}_total{base} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let m = prometheus_name(name);
+        out.push_str(&format!("# TYPE {m} gauge\n"));
+        out.push_str(&format!("{m}{base} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let m = prometheus_name(name);
+        out.push_str(&format!("# TYPE {m} summary\n"));
+        for (q, d) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q));
+            out.push_str(&format!("{m}{} {}\n", prometheus_labels(&with_q), secs(d)));
+        }
+        out.push_str(&format!("{m}_sum{base} {}\n", secs(h.sum)));
+        out.push_str(&format!("{m}_count{base} {}\n", h.count));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- json
+
+/// Recursively sort every JSON object's keys (stable on duplicates) so
+/// serialized artifacts are byte-diffable across runs regardless of
+/// insertion order.
+pub fn sort_json_keys(v: Json) -> Json {
+    match v {
+        Json::Obj(mut entries) => {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, sort_json_keys(v)))
+                    .collect(),
+            )
+        }
+        Json::Arr(items) => Json::Arr(items.into_iter().map(sort_json_keys).collect()),
+        other => other,
+    }
+}
+
+fn nanos_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn hist_json(h: &HistogramCounts) -> Json {
+    let s = h.summary();
+    Json::Obj(vec![
+        ("count".into(), Json::UInt(h.count)),
+        ("maxNanos".into(), Json::UInt(nanos_u64(s.max))),
+        ("meanNanos".into(), Json::UInt(nanos_u64(s.mean))),
+        ("minNanos".into(), Json::UInt(nanos_u64(s.min))),
+        ("p50Nanos".into(), Json::UInt(nanos_u64(s.p50))),
+        ("p95Nanos".into(), Json::UInt(nanos_u64(s.p95))),
+        ("p99Nanos".into(), Json::UInt(nanos_u64(s.p99))),
+        ("saturated".into(), Json::UInt(h.saturated)),
+        ("sumNanos".into(), Json::UInt(h.sum_nanos)),
+    ])
+}
+
+/// Render a timeline as schema-versioned `sts-timeline/1` JSON with
+/// sorted keys. `meta` labels (approach, curve, dataset…) land under
+/// `"meta"`.
+pub fn timeline_json(tl: &Timeline, meta: &[(&str, &str)]) -> Json {
+    let mut windows = Vec::new();
+    for w in tl.windows() {
+        let counters: Vec<(String, Json)> = w
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::UInt(*v)))
+            .collect();
+        let hists: Vec<(String, Json)> = w
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), hist_json(h)))
+            .collect();
+        let events: Vec<Json> = w
+            .events
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("atNanos".into(), Json::UInt(nanos_u64(e.at))),
+                    ("detail".into(), Json::Str(e.detail.clone())),
+                    ("kind".into(), Json::Str(e.kind.clone())),
+                ])
+            })
+            .collect();
+        let mut entries = vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("endNanos".into(), Json::UInt(nanos_u64(w.end))),
+            ("events".into(), Json::Arr(events)),
+            ("histograms".into(), Json::Obj(hists)),
+            ("index".into(), Json::UInt(w.index)),
+            ("startNanos".into(), Json::UInt(nanos_u64(w.start))),
+        ];
+        if let Some(s) = &w.slo {
+            entries.push((
+                "slo".into(),
+                Json::Obj(vec![
+                    ("bad".into(), Json::UInt(s.bad)),
+                    ("total".into(), Json::UInt(s.total)),
+                ]),
+            ));
+        }
+        if !w.alerts.is_empty() {
+            entries.push((
+                "alerts".into(),
+                Json::Arr(w.alerts.iter().map(alert_json).collect()),
+            ));
+        }
+        windows.push(Json::Obj(entries));
+    }
+
+    let mut root = vec![
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("capacity".into(), Json::UInt(tl.config().capacity as u64)),
+                (
+                    "windowNanos".into(),
+                    Json::UInt(nanos_u64(tl.config().window)),
+                ),
+            ]),
+        ),
+        ("droppedWindows".into(), Json::UInt(tl.dropped())),
+        ("finished".into(), Json::Bool(tl.is_finished())),
+        (
+            "meta".into(),
+            Json::Obj(
+                meta.iter()
+                    .map(|(k, v)| ((*k).to_string(), Json::Str((*v).to_string())))
+                    .collect(),
+            ),
+        ),
+        ("runEndNanos".into(), Json::UInt(nanos_u64(tl.now()))),
+        ("schema".into(), Json::Str(TIMELINE_SCHEMA.into())),
+        ("windows".into(), Json::Arr(windows)),
+    ];
+    if let Some(slo) = tl.slo() {
+        let (total, bad) = slo.totals();
+        root.push((
+            "slo".into(),
+            Json::Obj(vec![
+                (
+                    "alerts".into(),
+                    Json::Arr(slo.alerts().iter().map(alert_json).collect()),
+                ),
+                ("budgetConsumed".into(), Json::Float(slo.budget_consumed())),
+                ("name".into(), Json::Str(slo.policy().name.clone())),
+                ("objective".into(), Json::Float(slo.policy().objective)),
+                (
+                    "thresholdNanos".into(),
+                    Json::UInt(nanos_u64(slo.policy().threshold)),
+                ),
+                ("totalEvents".into(), Json::UInt(total)),
+                ("totalViolations".into(), Json::UInt(bad)),
+            ]),
+        ));
+    }
+    sort_json_keys(Json::Obj(root))
+}
+
+fn alert_json(a: &crate::slo::BurnAlert) -> Json {
+    Json::Obj(vec![
+        ("factor".into(), Json::Float(a.rule.factor)),
+        ("longBurn".into(), Json::Float(a.long_burn)),
+        ("longWindows".into(), Json::UInt(a.rule.long_windows as u64)),
+        ("shortBurn".into(), Json::Float(a.short_burn)),
+        (
+            "shortWindows".into(),
+            Json::UInt(a.rule.short_windows as u64),
+        ),
+        ("window".into(), Json::UInt(a.window)),
+    ])
+}
+
+/// Validate a parsed `sts-timeline/1` document: schema tag, window
+/// array shape, consecutive indices starting at `droppedWindows`,
+/// coherent window bounds, and SLO accounting (budget consumed must
+/// equal the sum of per-window violations over the budget-weighted
+/// total). `obs-report --timeline` exits non-zero when this fails.
+pub fn validate_timeline_json(v: &Json) -> Result<(), String> {
+    if v.get("schema").and_then(Json::as_str) != Some(TIMELINE_SCHEMA) {
+        return Err(format!("schema tag != {TIMELINE_SCHEMA:?}"));
+    }
+    let dropped = v
+        .get("droppedWindows")
+        .and_then(Json::as_u64)
+        .ok_or("missing droppedWindows")?;
+    let windows = v
+        .get("windows")
+        .and_then(Json::as_array)
+        .ok_or("windows is not an array")?;
+    let mut prev_end = None::<u64>;
+    let mut win_total = 0u64;
+    let mut win_bad = 0u64;
+    for (expect, w) in (dropped..).zip(windows.iter()) {
+        let idx = w
+            .get("index")
+            .and_then(Json::as_u64)
+            .ok_or("window without index")?;
+        if idx != expect {
+            return Err(format!("window index {idx} where {expect} expected"));
+        }
+        let start = w
+            .get("startNanos")
+            .and_then(Json::as_u64)
+            .ok_or("window without startNanos")?;
+        let end = w
+            .get("endNanos")
+            .and_then(Json::as_u64)
+            .ok_or("window without endNanos")?;
+        if end < start {
+            return Err(format!("window {idx}: end {end} < start {start}"));
+        }
+        if let Some(p) = prev_end {
+            if start != p {
+                return Err(format!("window {idx}: start {start} != previous end {p}"));
+            }
+        }
+        prev_end = Some(end);
+        for e in w.get("events").and_then(Json::as_array).unwrap_or(&[]) {
+            let at = e
+                .get("atNanos")
+                .and_then(Json::as_u64)
+                .ok_or("event without atNanos")?;
+            if at < start || at > end {
+                return Err(format!(
+                    "window {idx}: event at {at} outside [{start}, {end}]"
+                ));
+            }
+        }
+        if let Some(s) = w.get("slo") {
+            win_total += s
+                .get("total")
+                .and_then(Json::as_u64)
+                .ok_or("slo row without total")?;
+            win_bad += s
+                .get("bad")
+                .and_then(Json::as_u64)
+                .ok_or("slo row without bad")?;
+        }
+    }
+    if let Some(slo) = v.get("slo") {
+        let total = slo
+            .get("totalEvents")
+            .and_then(Json::as_u64)
+            .ok_or("slo without totalEvents")?;
+        let bad = slo
+            .get("totalViolations")
+            .and_then(Json::as_u64)
+            .ok_or("slo without totalViolations")?;
+        // Exact only when no window was dropped from the ring.
+        if dropped == 0 && (total != win_total || bad != win_bad) {
+            return Err(format!(
+                "slo accounting: cumulative {bad}/{total} != per-window sums {win_bad}/{win_total}"
+            ));
+        }
+        let objective = slo
+            .get("objective")
+            .and_then(Json::as_f64)
+            .ok_or("slo without objective")?;
+        let consumed = slo
+            .get("budgetConsumed")
+            .and_then(Json::as_f64)
+            .ok_or("slo without budgetConsumed")?;
+        let budget = (1.0 - objective).max(f64::EPSILON);
+        let expect = if total == 0 {
+            0.0
+        } else {
+            bad as f64 / (budget * total as f64)
+        };
+        if (consumed - expect).abs() > 1e-6 * expect.max(1.0) {
+            return Err(format!(
+                "budgetConsumed {consumed} != violations/(budget*total) = {expect}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------ perfetto
+
+fn micros_f(d: Duration) -> f64 {
+    d.as_nanos() as f64 / 1_000.0
+}
+
+/// Render a timeline as Chrome trace-event JSON for Perfetto: one
+/// counter track per histogram metric (p50/p95/p99 in µs, sampled at
+/// each window start), one counter track per counter metric (the
+/// per-window delta), and instant events overlaying every timeline
+/// annotation (balancer splits/migrations, batch commits) and burn
+/// alert on the same virtual-clock axis.
+pub fn perfetto_timeline(tl: &Timeline, label: &str) -> Json {
+    let mut events = Vec::new();
+    events.push(Json::Obj(vec![
+        (
+            "args".into(),
+            Json::Obj(vec![(
+                "name".into(),
+                Json::Str(format!("sts timeline: {label}")),
+            )]),
+        ),
+        ("name".into(), Json::Str("process_name".into())),
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::UInt(1)),
+    ]));
+    for w in tl.windows() {
+        let ts = micros_f(w.start);
+        for (name, h) in &w.histograms {
+            let s = h.summary();
+            events.push(Json::Obj(vec![
+                (
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("p50_us".into(), Json::Float(micros_f(s.p50))),
+                        ("p95_us".into(), Json::Float(micros_f(s.p95))),
+                        ("p99_us".into(), Json::Float(micros_f(s.p99))),
+                    ]),
+                ),
+                ("name".into(), Json::Str(format!("{name} (µs)"))),
+                ("ph".into(), Json::Str("C".into())),
+                ("pid".into(), Json::UInt(1)),
+                ("ts".into(), Json::Float(ts)),
+            ]));
+        }
+        for (name, v) in &w.counters {
+            events.push(Json::Obj(vec![
+                (
+                    "args".into(),
+                    Json::Obj(vec![("delta".into(), Json::UInt(*v))]),
+                ),
+                ("name".into(), Json::Str(format!("{name} /window"))),
+                ("ph".into(), Json::Str("C".into())),
+                ("pid".into(), Json::UInt(1)),
+                ("ts".into(), Json::Float(ts)),
+            ]));
+        }
+        for e in &w.events {
+            events.push(Json::Obj(vec![
+                (
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("detail".into(), Json::Str(e.detail.clone())),
+                        ("window".into(), Json::UInt(w.index)),
+                    ]),
+                ),
+                ("name".into(), Json::Str(e.kind.clone())),
+                ("ph".into(), Json::Str("i".into())),
+                ("pid".into(), Json::UInt(1)),
+                ("s".into(), Json::Str("p".into())),
+                ("tid".into(), Json::UInt(0)),
+                ("ts".into(), Json::Float(micros_f(e.at))),
+            ]));
+        }
+        for a in &w.alerts {
+            events.push(Json::Obj(vec![
+                (
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("factor".into(), Json::Float(a.rule.factor)),
+                        ("longBurn".into(), Json::Float(a.long_burn)),
+                        ("shortBurn".into(), Json::Float(a.short_burn)),
+                    ]),
+                ),
+                ("name".into(), Json::Str("slo.burn-alert".into())),
+                ("ph".into(), Json::Str("i".into())),
+                ("pid".into(), Json::UInt(1)),
+                ("s".into(), Json::Str("g".into())),
+                ("tid".into(), Json::UInt(0)),
+                ("ts".into(), Json::Float(micros_f(w.end))),
+            ]));
+        }
+    }
+    sort_json_keys(Json::Obj(vec![
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+        (
+            "otherData".into(),
+            Json::Obj(vec![
+                (
+                    "schema".into(),
+                    Json::Str(format!("{TIMELINE_SCHEMA}+perfetto")),
+                ),
+                ("virtualClock".into(), Json::Bool(true)),
+            ]),
+        ),
+        ("traceEvents".into(), Json::Arr(events)),
+    ]))
+}
+
+// ------------------------------------------------------- folded stacks
+
+/// A cross-query aggregate of stage time keyed by semicolon-joined
+/// frame paths — the folded-stacks format `flamegraph.pl` and inferno
+/// consume directly (`stQuery;shardExec;indexScan 1234` per line,
+/// values in nanoseconds of virtual/stage time).
+#[derive(Clone, Debug, Default)]
+pub struct FoldedStacks {
+    frames: BTreeMap<String, u64>,
+}
+
+impl FoldedStacks {
+    /// An empty accumulator.
+    pub fn new() -> FoldedStacks {
+        FoldedStacks::default()
+    }
+
+    /// Add `nanos` of self time to the stack `path` (frames joined
+    /// with `;`, root first).
+    pub fn add(&mut self, path: &str, nanos: u64) {
+        if nanos > 0 {
+            *self.frames.entry(path.to_string()).or_insert(0) += nanos;
+        }
+    }
+
+    /// Add self time to a stack given as separate frames.
+    pub fn add_frames(&mut self, frames: &[&str], nanos: u64) {
+        self.add(&frames.join(";"), nanos);
+    }
+
+    /// Fold another accumulator in (cross-store / cross-phase merge).
+    pub fn merge(&mut self, other: &FoldedStacks) {
+        for (k, v) in &other.frames {
+            *self.frames.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Distinct stacks.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total nanoseconds across all stacks.
+    pub fn total(&self) -> u64 {
+        self.frames.values().sum()
+    }
+
+    /// Iterate `(stack, nanos)` in sorted stack order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.frames.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Render in folded format, one `stack value` line per entry,
+    /// sorted by stack for deterministic artifacts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.frames {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::slo::SloPolicy;
+    use crate::timeline::TimelineConfig;
+    use std::sync::Arc;
+
+    fn sample_timeline() -> Timeline {
+        let reg = Arc::new(Registry::new());
+        let mut tl = Timeline::new(
+            reg.clone(),
+            TimelineConfig {
+                window: Duration::from_millis(10),
+                capacity: 64,
+            },
+        );
+        tl.set_slo(SloPolicy {
+            name: "query_total".into(),
+            objective: 0.9,
+            threshold: Duration::from_micros(500),
+            rules: vec![crate::slo::BurnRule {
+                short_windows: 1,
+                long_windows: 2,
+                factor: 1.0,
+            }],
+        });
+        for i in 0..20u64 {
+            reg.counter("router.queries").inc();
+            let lat = Duration::from_micros(if i % 4 == 0 { 900 } else { 100 });
+            reg.record("query.total", lat);
+            tl.observe_latency(lat);
+            if i == 7 {
+                tl.annotate("balancer.split", "chunk 3");
+            }
+            tl.advance(Duration::from_millis(3));
+        }
+        tl.finish();
+        tl.validate().unwrap();
+        tl
+    }
+
+    #[test]
+    fn timeline_json_round_trips_and_validates() {
+        let tl = sample_timeline();
+        let v = timeline_json(&tl, &[("approach", "hil"), ("curve", "hilbert")]);
+        validate_timeline_json(&v).unwrap();
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        validate_timeline_json(&parsed).unwrap();
+        assert_eq!(
+            parsed.get("meta").and_then(|m| m.get("approach")?.as_str()),
+            Some("hil")
+        );
+        // The window rows carry the histogram delta and the event.
+        assert!(text.contains("query.total"));
+        assert!(text.contains("balancer.split"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let tl = sample_timeline();
+        let v = timeline_json(&tl, &[]);
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        let bad_schema = text.replace("sts-timeline/1", "sts-timeline/0");
+        assert!(validate_timeline_json(&serde_json::from_str(&bad_schema).unwrap()).is_err());
+        let bad_slo = text.replace("\"totalViolations\": 5", "\"totalViolations\": 4");
+        assert_ne!(bad_slo, text, "expected 5 violations in the sample");
+        assert!(validate_timeline_json(&serde_json::from_str(&bad_slo).unwrap()).is_err());
+    }
+
+    #[test]
+    fn perfetto_export_carries_counter_tracks_and_events() {
+        let tl = sample_timeline();
+        let v = perfetto_timeline(&tl, "hil/hilbert");
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        let counters = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .count();
+        let instants: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .collect();
+        assert!(counters > 0);
+        assert!(instants
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("balancer.split")));
+        assert!(instants
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("slo.burn-alert")));
+        assert_eq!(
+            v.get("otherData")
+                .and_then(|o| o.get("virtualClock")?.as_bool()),
+            Some(true)
+        );
+        // Round-trips through the shim parser.
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        serde_json::from_str(&text).unwrap();
+    }
+
+    #[test]
+    fn sorted_keys_everywhere() {
+        fn check(v: &Json) {
+            if let Json::Obj(entries) = v {
+                for pair in entries.windows(2) {
+                    assert!(pair[0].0 <= pair[1].0, "keys out of order: {:?}", pair[1].0);
+                }
+                for (_, v) in entries {
+                    check(v);
+                }
+            }
+            if let Json::Arr(items) = v {
+                items.iter().for_each(check);
+            }
+        }
+        let tl = sample_timeline();
+        check(&timeline_json(&tl, &[("b", "1"), ("a", "2")]));
+        check(&perfetto_timeline(&tl, "x"));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("ingest.docs").add(42);
+        reg.gauge("shards.live").set(6);
+        reg.record("query.total", Duration::from_micros(250));
+        let text = prometheus_text(&reg.snapshot(), &[("approach", "hil")]);
+        assert!(text.contains("# TYPE sts_ingest_docs_total counter"));
+        assert!(text.contains("sts_ingest_docs_total{approach=\"hil\"} 42"));
+        assert!(text.contains("# TYPE sts_shards_live gauge"));
+        assert!(text.contains("sts_query_total{approach=\"hil\",quantile=\"0.5\"}"));
+        assert!(text.contains("sts_query_total_count{approach=\"hil\"} 1"));
+    }
+
+    #[test]
+    fn folded_stacks_accumulate_and_render_sorted() {
+        let mut f = FoldedStacks::new();
+        f.add_frames(&["stQuery", "shardExec", "indexScan"], 100);
+        f.add("stQuery;covering", 40);
+        f.add_frames(&["stQuery", "shardExec", "indexScan"], 25);
+        let mut g = FoldedStacks::new();
+        g.add("stQuery;covering", 10);
+        f.merge(&g);
+        assert_eq!(f.total(), 175);
+        assert_eq!(
+            f.render(),
+            "stQuery;covering 50\nstQuery;shardExec;indexScan 125\n"
+        );
+    }
+}

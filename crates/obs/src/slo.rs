@@ -1,0 +1,361 @@
+//! Latency SLOs with error-budget burn-rate tracking over the
+//! timeline's windows.
+//!
+//! An [`SloPolicy`] states an objective ("99% of queries finish under
+//! 2 ms"); the [`SloTracker`] counts good/bad events *exactly* — per
+//! observation, not reconstructed from histogram buckets — so the
+//! budget arithmetic is not an estimate: the budget consumed over a
+//! run equals the sum of per-window violations by construction, and
+//! the timeline invariant checks assert exactly that.
+//!
+//! Burn-rate alerting follows the multi-window pattern (short window
+//! catches fast burn, long window filters noise): an alert fires at a
+//! window roll iff **both** the short- and long-window burn rates
+//! exceed the rule's factor. A burn rate of 1.0 means the error budget
+//! is being consumed exactly at the rate that exhausts it at the end
+//! of the objective period; 14.4 is the classic "page now" fast burn.
+
+use std::time::Duration;
+
+/// A latency objective: at least `objective` of events must complete
+/// within `threshold`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloPolicy {
+    /// Human-readable policy name (shows up in exports and alerts).
+    pub name: String,
+    /// Target good fraction in `(0, 1)`, e.g. `0.99` for a p99 target.
+    pub objective: f64,
+    /// Latency at or under which an event counts as good.
+    pub threshold: Duration,
+    /// Multi-window burn alert rules evaluated at every window roll.
+    pub rules: Vec<BurnRule>,
+}
+
+impl SloPolicy {
+    /// A p99-style policy with the standard fast/slow burn rule pair.
+    pub fn p99(name: impl Into<String>, threshold: Duration) -> SloPolicy {
+        SloPolicy {
+            name: name.into(),
+            objective: 0.99,
+            threshold,
+            rules: vec![BurnRule::fast(), BurnRule::slow()],
+        }
+    }
+
+    /// The error budget fraction, `1 - objective`.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(f64::EPSILON)
+    }
+}
+
+/// One multi-window burn-rate alert rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnRule {
+    /// Number of most-recent windows in the short (fast-reacting) view.
+    pub short_windows: usize,
+    /// Number of most-recent windows in the long (confirming) view.
+    pub long_windows: usize,
+    /// Burn-rate factor both views must exceed for the alert to fire.
+    pub factor: f64,
+}
+
+impl BurnRule {
+    /// Page-level fast burn: 14.4× over a short 4-window / long
+    /// 48-window pair.
+    pub fn fast() -> BurnRule {
+        BurnRule {
+            short_windows: 4,
+            long_windows: 48,
+            factor: 14.4,
+        }
+    }
+
+    /// Ticket-level slow burn: 3× over a 24/96 window pair.
+    pub fn slow() -> BurnRule {
+        BurnRule {
+            short_windows: 24,
+            long_windows: 96,
+            factor: 3.0,
+        }
+    }
+}
+
+/// Exact good/bad accounting for one sealed timeline window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSlo {
+    /// Absolute window index this row was sealed for.
+    pub window: u64,
+    /// Events observed in the window.
+    pub total: u64,
+    /// Events over the latency threshold in the window.
+    pub bad: u64,
+}
+
+impl WindowSlo {
+    /// Fraction of events over threshold (0 when the window is empty).
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bad as f64 / self.total as f64
+        }
+    }
+}
+
+/// A burn-rate alert that fired at a window roll.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnAlert {
+    /// Window index at whose seal the alert fired.
+    pub window: u64,
+    /// The rule that tripped.
+    pub rule: BurnRule,
+    /// Burn rate over the rule's short view at fire time.
+    pub short_burn: f64,
+    /// Burn rate over the rule's long view at fire time.
+    pub long_burn: f64,
+}
+
+/// Exact per-event SLO accounting rolled along the timeline's windows.
+#[derive(Debug)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    cur_total: u64,
+    cur_bad: u64,
+    cum_total: u64,
+    cum_bad: u64,
+    windows: Vec<WindowSlo>,
+    alerts: Vec<BurnAlert>,
+}
+
+impl SloTracker {
+    /// Start tracking a policy.
+    pub fn new(policy: SloPolicy) -> SloTracker {
+        SloTracker {
+            policy,
+            cur_total: 0,
+            cur_bad: 0,
+            cum_total: 0,
+            cum_bad: 0,
+            windows: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// The policy being tracked.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Record one event's latency against the current (open) window.
+    pub fn observe(&mut self, latency: Duration) {
+        self.cur_total += 1;
+        self.cum_total += 1;
+        if latency > self.policy.threshold {
+            self.cur_bad += 1;
+            self.cum_bad += 1;
+        }
+    }
+
+    /// Seal the open window as `window`, evaluate every burn rule, and
+    /// return the alerts that fired (also retained in
+    /// [`alerts`](Self::alerts)).
+    pub fn roll(&mut self, window: u64) -> Vec<BurnAlert> {
+        self.windows.push(WindowSlo {
+            window,
+            total: self.cur_total,
+            bad: self.cur_bad,
+        });
+        self.cur_total = 0;
+        self.cur_bad = 0;
+        let mut fired = Vec::new();
+        for rule in self.policy.rules.clone() {
+            let short = self.burn_rate(rule.short_windows);
+            let long = self.burn_rate(rule.long_windows);
+            if short >= rule.factor && long >= rule.factor {
+                let alert = BurnAlert {
+                    window,
+                    rule,
+                    short_burn: short,
+                    long_burn: long,
+                };
+                self.alerts.push(alert);
+                fired.push(alert);
+            }
+        }
+        fired
+    }
+
+    /// Burn rate over the last `n` sealed windows: the observed error
+    /// rate divided by the error budget. 1.0 = consuming the budget
+    /// exactly at the sustainable rate; 0 when those windows are empty.
+    pub fn burn_rate(&self, n: usize) -> f64 {
+        let tail = &self.windows[self.windows.len().saturating_sub(n.max(1))..];
+        let total: u64 = tail.iter().map(|w| w.total).sum();
+        let bad: u64 = tail.iter().map(|w| w.bad).sum();
+        if total == 0 {
+            0.0
+        } else {
+            (bad as f64 / total as f64) / self.policy.budget()
+        }
+    }
+
+    /// Fraction of the total error budget consumed so far:
+    /// `bad / (budget × total)`. 1.0 means the run-wide objective is
+    /// exactly violated; above 1.0 the SLO is broken.
+    pub fn budget_consumed(&self) -> f64 {
+        if self.cum_total == 0 {
+            0.0
+        } else {
+            self.cum_bad as f64 / (self.policy.budget() * self.cum_total as f64)
+        }
+    }
+
+    /// Every sealed window, in roll order.
+    pub fn windows(&self) -> &[WindowSlo] {
+        &self.windows
+    }
+
+    /// Every alert fired so far, in fire order.
+    pub fn alerts(&self) -> &[BurnAlert] {
+        &self.alerts
+    }
+
+    /// Cumulative `(total, bad)` including the open window.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.cum_total, self.cum_bad)
+    }
+
+    /// Events in the open (not yet rolled) window.
+    pub fn open_window(&self) -> (u64, u64) {
+        (self.cur_total, self.cur_bad)
+    }
+
+    /// Check the accounting invariants: the cumulative counters must
+    /// equal the sum over sealed windows plus the open window (i.e. the
+    /// windows *partition* the observations), and each rolled alert's
+    /// recomputed burn pair must still exceed its rule's factor.
+    pub fn validate(&self) -> Result<(), String> {
+        let sealed_total: u64 = self.windows.iter().map(|w| w.total).sum();
+        let sealed_bad: u64 = self.windows.iter().map(|w| w.bad).sum();
+        if sealed_total + self.cur_total != self.cum_total {
+            return Err(format!(
+                "slo {:?}: window totals {} + open {} != cumulative {}",
+                self.policy.name, sealed_total, self.cur_total, self.cum_total
+            ));
+        }
+        if sealed_bad + self.cur_bad != self.cum_bad {
+            return Err(format!(
+                "slo {:?}: window violations {} + open {} != cumulative {}",
+                self.policy.name, sealed_bad, self.cur_bad, self.cum_bad
+            ));
+        }
+        for a in &self.alerts {
+            if !(a.short_burn >= a.rule.factor && a.long_burn >= a.rule.factor) {
+                return Err(format!(
+                    "slo {:?}: alert at window {} recorded burns {:.2}/{:.2} below factor {:.2}",
+                    self.policy.name, a.window, a.short_burn, a.long_burn, a.rule.factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(rules: Vec<BurnRule>) -> SloPolicy {
+        SloPolicy {
+            name: "test".into(),
+            objective: 0.9,
+            threshold: Duration::from_millis(1),
+            rules,
+        }
+    }
+
+    #[test]
+    fn budget_consumed_is_exact() {
+        let mut t = SloTracker::new(policy(vec![]));
+        for i in 0..100u64 {
+            // 10 of 100 over threshold: error rate 0.1 = the budget.
+            let d = if i % 10 == 0 {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_micros(10)
+            };
+            t.observe(d);
+        }
+        t.roll(0);
+        assert!((t.budget_consumed() - 1.0).abs() < 1e-9);
+        assert!((t.burn_rate(1) - 1.0).abs() < 1e-9);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn alert_fires_iff_both_views_exceed() {
+        let rule = BurnRule {
+            short_windows: 1,
+            long_windows: 4,
+            factor: 2.0,
+        };
+        let mut t = SloTracker::new(policy(vec![rule]));
+        // Three clean windows.
+        for w in 0..3u64 {
+            for _ in 0..10 {
+                t.observe(Duration::from_micros(1));
+            }
+            assert!(t.roll(w).is_empty());
+        }
+        // One terrible window: short burn = (10/10)/0.1 = 10 ≥ 2, but
+        // long view = (10/40)/0.1 = 2.5 ≥ 2 → fires.
+        for _ in 0..10 {
+            t.observe(Duration::from_millis(5));
+        }
+        let fired = t.roll(3);
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].short_burn >= 2.0 && fired[0].long_burn >= 2.0);
+
+        // Same spike diluted by a much longer clean history: short view
+        // still burns but the long view stays under the factor → quiet.
+        let mut t2 = SloTracker::new(policy(vec![BurnRule {
+            short_windows: 1,
+            long_windows: 8,
+            factor: 2.0,
+        }]));
+        for w in 0..7u64 {
+            for _ in 0..100 {
+                t2.observe(Duration::from_micros(1));
+            }
+            assert!(t2.roll(w).is_empty());
+        }
+        for _ in 0..10 {
+            t2.observe(Duration::from_millis(5));
+        }
+        // long = (10/710)/0.1 ≈ 0.14 < 2 even though short = 10.
+        assert!(t2.roll(7).is_empty());
+        assert!(t2.burn_rate(1) >= 2.0);
+        t2.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_tampering() {
+        let mut t = SloTracker::new(policy(vec![]));
+        t.observe(Duration::from_millis(5));
+        t.roll(0);
+        t.validate().unwrap();
+        t.windows[0].bad = 7;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn empty_windows_burn_nothing() {
+        let mut t = SloTracker::new(SloPolicy::p99("q", Duration::from_millis(1)));
+        t.roll(0);
+        t.roll(1);
+        assert_eq!(t.burn_rate(2), 0.0);
+        assert_eq!(t.budget_consumed(), 0.0);
+        assert!(t.alerts().is_empty());
+        t.validate().unwrap();
+    }
+}

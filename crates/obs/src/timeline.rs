@@ -1,0 +1,634 @@
+//! Ring-buffered windowed time-series sampled from a [`Registry`] on
+//! the virtual clock.
+//!
+//! A [`Timeline`] divides the virtual-time axis into fixed-width
+//! windows `[k·w, (k+1)·w)`. The instrumented path keeps recording
+//! into its ordinary metrics registry; the timeline only *samples*
+//! cumulative dumps at window boundaries and subtracts successive
+//! samples into per-window deltas ([`crate::HistogramCounts::delta`]).
+//! That makes two invariants structural rather than aspirational:
+//!
+//! * **windows partition the run** — every recording lands in exactly
+//!   one window, because deltas telescope;
+//! * **merge of window deltas = cumulative histogram** — bucket-wise
+//!   addition over one lattice ([`Timeline::merged_histogram`]).
+//!
+//! The ring is fixed-capacity and deterministic: old windows are
+//! evicted front-first, but their deltas are folded into a retained
+//! "dropped" accumulator so the telescoping invariant stays exactly
+//! checkable ([`Timeline::validate`]) no matter how long the run.
+//!
+//! Because the clock is virtual (query time advances by
+//! `QueryReport::total_time()`, ingest by measured batch wall time),
+//! the same workload produces the same window boundaries on every
+//! machine — timeline exports are diffable CI artifacts.
+
+use crate::histogram::HistogramCounts;
+use crate::registry::Registry;
+use crate::slo::{BurnAlert, SloPolicy, SloTracker, WindowSlo};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Window width and ring capacity for a [`Timeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineConfig {
+    /// Width of one window on the virtual clock.
+    pub window: Duration,
+    /// Maximum retained windows; older windows are evicted (their
+    /// deltas folded into the dropped accumulator).
+    pub capacity: usize,
+}
+
+impl Default for TimelineConfig {
+    /// 5 ms windows, 512 retained — sized for the bench workloads
+    /// whose per-query virtual times are tens of µs to a few ms.
+    fn default() -> Self {
+        TimelineConfig {
+            window: Duration::from_millis(5),
+            capacity: 512,
+        }
+    }
+}
+
+/// A discrete occurrence pinned to the virtual clock — balancer
+/// splits/migrations, batch commits, fault arming — overlaid on the
+/// latency timeline by the exporters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Virtual timestamp of the event.
+    pub at: Duration,
+    /// Dotted event kind, e.g. `balancer.migrate` or `ingest.commit`.
+    pub kind: String,
+    /// Free-form detail, e.g. `chunk 42: shard 1 → 3 (17 docs)`.
+    pub detail: String,
+}
+
+/// One sealed window: the registry delta plus everything pinned to it.
+#[derive(Clone, Debug)]
+pub struct TimelineWindow {
+    /// Absolute window number `k` (the window spans `[k·w, (k+1)·w)`).
+    pub index: u64,
+    /// Inclusive virtual start.
+    pub start: Duration,
+    /// Exclusive virtual end. For the final window sealed by
+    /// [`Timeline::finish`] this is the actual run end, so the sealed
+    /// windows exactly partition `[0, run_end)`.
+    pub end: Duration,
+    /// Counter increments within the window (zero deltas omitted).
+    pub counters: Vec<(String, u64)>,
+    /// Histogram window deltas (empty deltas omitted).
+    pub histograms: Vec<(String, HistogramCounts)>,
+    /// Events that occurred within the window, in time order.
+    pub events: Vec<TimelineEvent>,
+    /// Exact SLO accounting for the window, when a policy is attached.
+    pub slo: Option<WindowSlo>,
+    /// Burn alerts that fired when this window rolled.
+    pub alerts: Vec<BurnAlert>,
+}
+
+impl TimelineWindow {
+    /// Counter delta by name (0 when absent, i.e. unchanged).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram window delta by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramCounts> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Windowed time-series over one store's metrics [`Registry`].
+pub struct Timeline {
+    registry: Arc<Registry>,
+    cfg: TimelineConfig,
+    now: Duration,
+    open_index: u64,
+    base_counters: BTreeMap<String, u64>,
+    base_hists: BTreeMap<String, HistogramCounts>,
+    cursor_counters: BTreeMap<String, u64>,
+    cursor_hists: BTreeMap<String, HistogramCounts>,
+    dropped_counters: BTreeMap<String, u64>,
+    dropped_hists: BTreeMap<String, HistogramCounts>,
+    windows: VecDeque<TimelineWindow>,
+    dropped: u64,
+    pending_events: Vec<TimelineEvent>,
+    slo: Option<SloTracker>,
+    finished: bool,
+}
+
+impl Timeline {
+    /// Start a timeline over `registry` at virtual time zero. The
+    /// current registry contents become the base sample — only deltas
+    /// from here on are attributed to windows.
+    pub fn new(registry: Arc<Registry>, cfg: TimelineConfig) -> Timeline {
+        assert!(!cfg.window.is_zero(), "timeline window width must be > 0");
+        assert!(cfg.capacity > 0, "timeline capacity must be > 0");
+        let counters: BTreeMap<String, u64> = registry.counter_values().into_iter().collect();
+        let hists: BTreeMap<String, HistogramCounts> =
+            registry.histogram_counts().into_iter().collect();
+        Timeline {
+            registry,
+            cfg,
+            now: Duration::ZERO,
+            open_index: 0,
+            base_counters: counters.clone(),
+            base_hists: hists.clone(),
+            cursor_counters: counters,
+            cursor_hists: hists,
+            dropped_counters: BTreeMap::new(),
+            dropped_hists: BTreeMap::new(),
+            windows: VecDeque::new(),
+            dropped: 0,
+            pending_events: Vec::new(),
+            slo: None,
+            finished: false,
+        }
+    }
+
+    /// Attach a latency SLO; subsequent [`Timeline::observe_latency`]
+    /// (Self::observe_latency) calls count against it and every window
+    /// seal rolls it.
+    pub fn set_slo(&mut self, policy: SloPolicy) {
+        self.slo = Some(SloTracker::new(policy));
+    }
+
+    /// The attached SLO tracker, if any.
+    pub fn slo(&self) -> Option<&SloTracker> {
+        self.slo.as_ref()
+    }
+
+    /// Timeline configuration.
+    pub fn config(&self) -> TimelineConfig {
+        self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// True once [`finish`](Self::finish) sealed the run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Sealed windows currently retained in the ring, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &TimelineWindow> {
+        self.windows.iter()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no window has been sealed (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Windows evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Record one event latency against the attached SLO (no-op
+    /// without a policy). The caller still records the same latency
+    /// into its registry histograms; this is only the exact good/bad
+    /// accounting.
+    pub fn observe_latency(&mut self, latency: Duration) {
+        if let Some(slo) = &mut self.slo {
+            slo.observe(latency);
+        }
+    }
+
+    /// Pin an event to the current virtual time.
+    pub fn annotate(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
+        self.pending_events.push(TimelineEvent {
+            at: self.now,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Advance the virtual clock by `dt`, sealing every window whose
+    /// end is crossed. All registry activity since the previous seal is
+    /// attributed to the window that was open when `advance` was
+    /// called; windows skipped by a large jump seal empty.
+    pub fn advance(&mut self, dt: Duration) {
+        assert!(!self.finished, "timeline already finished");
+        self.now = self.now.saturating_add(dt);
+        while self.now >= self.window_end(self.open_index) {
+            let end = self.window_end(self.open_index);
+            self.seal(end);
+        }
+    }
+
+    /// Seal the final (possibly partial) window at the current virtual
+    /// time, so the sealed windows exactly partition `[0, now)`. A
+    /// zero-length open window with no pending activity is skipped.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        let start = self.window_start(self.open_index);
+        if self.now > start || !self.pending_events.is_empty() || self.open_slo_nonempty() {
+            let end = self.now.max(start);
+            self.seal(end);
+        }
+        self.finished = true;
+    }
+
+    fn open_slo_nonempty(&self) -> bool {
+        self.slo.as_ref().is_some_and(|s| s.open_window().0 > 0)
+    }
+
+    fn window_nanos(&self) -> u64 {
+        u64::try_from(self.cfg.window.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn window_start(&self, index: u64) -> Duration {
+        Duration::from_nanos(self.window_nanos().saturating_mul(index))
+    }
+
+    fn window_end(&self, index: u64) -> Duration {
+        Duration::from_nanos(self.window_nanos().saturating_mul(index + 1))
+    }
+
+    /// Seal the open window with exclusive end `end`, sampling the
+    /// registry and attributing the delta since the last seal to it.
+    fn seal(&mut self, end: Duration) {
+        let index = self.open_index;
+        let start = self.window_start(index);
+
+        let now_counters: BTreeMap<String, u64> =
+            self.registry.counter_values().into_iter().collect();
+        let now_hists: BTreeMap<String, HistogramCounts> =
+            self.registry.histogram_counts().into_iter().collect();
+
+        let mut counters = Vec::new();
+        for (name, v) in &now_counters {
+            let before = self.cursor_counters.get(name).copied().unwrap_or(0);
+            let d = v.saturating_sub(before);
+            if d > 0 {
+                counters.push((name.clone(), d));
+            }
+        }
+        let mut histograms = Vec::new();
+        for (name, h) in &now_hists {
+            let delta = match self.cursor_hists.get(name) {
+                Some(before) => h.delta(before),
+                None => h.clone(),
+            };
+            if !delta.is_empty() {
+                histograms.push((name.clone(), delta));
+            }
+        }
+        self.cursor_counters = now_counters;
+        self.cursor_hists = now_hists;
+
+        // Events inside this window stay; later ones (a large advance
+        // jumped past several boundaries) wait for their own window.
+        let mut events = Vec::new();
+        let mut rest = Vec::new();
+        for e in self.pending_events.drain(..) {
+            if e.at < end || (e.at == end && end == self.now) {
+                events.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        self.pending_events = rest;
+
+        let (slo, alerts) = match &mut self.slo {
+            Some(tracker) => {
+                let fired = tracker.roll(index);
+                (tracker.windows().last().copied(), fired)
+            }
+            None => (None, Vec::new()),
+        };
+
+        self.windows.push_back(TimelineWindow {
+            index,
+            start,
+            end,
+            counters,
+            histograms,
+            events,
+            slo,
+            alerts,
+        });
+        self.open_index += 1;
+
+        while self.windows.len() > self.cfg.capacity {
+            let evicted = self.windows.pop_front().expect("len > capacity > 0");
+            self.dropped += 1;
+            for (name, d) in evicted.counters {
+                *self.dropped_counters.entry(name).or_insert(0) += d;
+            }
+            for (name, h) in evicted.histograms {
+                self.dropped_hists
+                    .entry(name)
+                    .or_insert_with(HistogramCounts::empty)
+                    .merge(&h);
+            }
+        }
+    }
+
+    /// Merge every retained window delta of `name` (plus the deltas of
+    /// evicted windows) back into one cumulative dump. After
+    /// [`finish`](Self::finish), this equals the registry histogram's
+    /// cumulative counts minus the base sample — the delta-merge
+    /// invariant the property tests assert.
+    pub fn merged_histogram(&self, name: &str) -> HistogramCounts {
+        let mut acc = self
+            .dropped_hists
+            .get(name)
+            .cloned()
+            .unwrap_or_else(HistogramCounts::empty);
+        for w in &self.windows {
+            if let Some(h) = w.histogram(name) {
+                acc.merge(h);
+            }
+        }
+        acc
+    }
+
+    /// Sum of `name`'s counter deltas over every window ever sealed.
+    pub fn merged_counter(&self, name: &str) -> u64 {
+        self.dropped_counters.get(name).copied().unwrap_or(0)
+            + self.windows.iter().map(|w| w.counter(name)).sum::<u64>()
+    }
+
+    /// Check every structural invariant. Cheap enough to run at export
+    /// time; `obs-report --timeline` exits non-zero when this fails.
+    ///
+    /// * retained windows are consecutive, starting at `dropped`;
+    /// * window bounds tile the virtual-time axis (`start = k·w`,
+    ///   `end = (k+1)·w`, except the final partial window);
+    /// * events sit inside their window and in time order;
+    /// * for every histogram the merged window deltas equal the last
+    ///   cumulative sample minus the base sample (telescoping), and
+    ///   likewise for counters;
+    /// * the attached SLO tracker's own accounting validates and its
+    ///   rows agree with the per-window rows retained here.
+    pub fn validate(&self) -> Result<(), String> {
+        for (expect, w) in (self.dropped..).zip(self.windows.iter()) {
+            if w.index != expect {
+                return Err(format!(
+                    "window index {} where {} expected",
+                    w.index, expect
+                ));
+            }
+            let start = self.window_start(w.index);
+            let end = self.window_end(w.index);
+            if w.start != start {
+                return Err(format!(
+                    "window {} start {:?} != {:?}",
+                    w.index, w.start, start
+                ));
+            }
+            let is_last = w.index + 1 == self.open_index;
+            if w.end != end && !(is_last && self.finished && w.end <= end && w.end >= w.start) {
+                return Err(format!("window {} end {:?} != {:?}", w.index, w.end, end));
+            }
+            let mut prev = w.start;
+            for e in &w.events {
+                if e.at < w.start || e.at > w.end {
+                    return Err(format!(
+                        "event {:?} at {:?} outside window {} [{:?}, {:?})",
+                        e.kind, e.at, w.index, w.start, w.end
+                    ));
+                }
+                if e.at < prev {
+                    return Err(format!("events out of order in window {}", w.index));
+                }
+                prev = e.at;
+            }
+            if let Some(s) = &w.slo {
+                if s.window != w.index {
+                    return Err(format!(
+                        "slo row window {} attached to window {}",
+                        s.window, w.index
+                    ));
+                }
+            }
+        }
+
+        // Telescoping: base + all window deltas == last cumulative sample.
+        for (name, cur) in &self.cursor_counters {
+            let base = self.base_counters.get(name).copied().unwrap_or(0);
+            let merged = self.merged_counter(name);
+            if base + merged != *cur {
+                return Err(format!(
+                    "counter {name:?}: base {base} + window deltas {merged} != cumulative {cur}"
+                ));
+            }
+        }
+        for (name, cur) in &self.cursor_hists {
+            let mut acc = self
+                .base_hists
+                .get(name)
+                .cloned()
+                .unwrap_or_else(HistogramCounts::empty);
+            let merged = self.merged_histogram(name);
+            acc.merge(&merged);
+            if acc.buckets != cur.buckets
+                || acc.count != cur.count
+                || acc.sum_nanos != cur.sum_nanos
+            {
+                return Err(format!(
+                    "histogram {name:?}: base + merged window deltas != cumulative \
+                     (count {} vs {})",
+                    acc.count, cur.count
+                ));
+            }
+        }
+
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
+            for w in &self.windows {
+                let Some(row) = &w.slo else {
+                    return Err(format!("window {} missing slo row", w.index));
+                };
+                let tracked = slo
+                    .windows()
+                    .iter()
+                    .find(|s| s.window == w.index)
+                    .ok_or_else(|| format!("slo tracker lost window {}", w.index))?;
+                if tracked != row {
+                    return Err(format!("slo row mismatch at window {}", w.index));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Timeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timeline")
+            .field("now", &self.now)
+            .field("windows", &self.windows.len())
+            .field("dropped", &self.dropped)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn timeline(window_ms: u64, capacity: usize) -> (Arc<Registry>, Timeline) {
+        let reg = Arc::new(Registry::new());
+        let tl = Timeline::new(
+            reg.clone(),
+            TimelineConfig {
+                window: ms(window_ms),
+                capacity,
+            },
+        );
+        (reg, tl)
+    }
+
+    #[test]
+    fn windows_partition_the_clock() {
+        let (reg, mut tl) = timeline(10, 64);
+        for i in 0..30 {
+            reg.counter("q").inc();
+            reg.record("lat", Duration::from_micros(100 + i));
+            tl.advance(ms(3));
+        }
+        tl.finish();
+        tl.validate().unwrap();
+        // 30 × 3 ms = 90 ms → 9 full windows sealed by advance, none
+        // partial (finish at exactly 90 ms opens nothing).
+        assert_eq!(tl.len(), 9);
+        let mut cursor = Duration::ZERO;
+        for w in tl.windows() {
+            assert_eq!(w.start, cursor);
+            cursor = w.end;
+        }
+        assert_eq!(cursor, tl.now());
+        assert_eq!(tl.merged_counter("q"), 30);
+        assert_eq!(tl.merged_histogram("lat").count, 30);
+    }
+
+    #[test]
+    fn partial_final_window_is_sealed_by_finish() {
+        let (reg, mut tl) = timeline(10, 64);
+        reg.counter("q").add(5);
+        tl.advance(ms(7));
+        tl.finish();
+        tl.validate().unwrap();
+        assert_eq!(tl.len(), 1);
+        let w = tl.windows().next().unwrap();
+        assert_eq!(w.start, Duration::ZERO);
+        assert_eq!(w.end, ms(7));
+        assert_eq!(w.counter("q"), 5);
+    }
+
+    #[test]
+    fn large_jump_seals_empty_windows() {
+        let (reg, mut tl) = timeline(10, 64);
+        reg.counter("q").inc();
+        tl.advance(ms(45));
+        tl.finish();
+        tl.validate().unwrap();
+        assert_eq!(tl.len(), 5); // 4 full + partial [40, 45)
+                                 // The whole delta lands in the window open at advance time.
+        assert_eq!(tl.windows().next().unwrap().counter("q"), 1);
+        assert_eq!(tl.windows().skip(1).map(|w| w.counter("q")).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn ring_eviction_preserves_telescoping() {
+        let (reg, mut tl) = timeline(10, 4);
+        for _ in 0..20 {
+            reg.counter("q").add(2);
+            reg.record("lat", Duration::from_micros(50));
+            tl.advance(ms(10));
+        }
+        tl.finish();
+        tl.validate().unwrap();
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.dropped(), 16);
+        assert_eq!(tl.merged_counter("q"), 40);
+        assert_eq!(tl.merged_histogram("lat").count, 20);
+        assert_eq!(tl.windows().next().unwrap().index, 16);
+    }
+
+    #[test]
+    fn pre_existing_metrics_are_excluded_by_the_base_sample() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("q").add(100);
+        reg.record("lat", Duration::from_millis(1));
+        let mut tl = Timeline::new(
+            reg.clone(),
+            TimelineConfig {
+                window: ms(10),
+                capacity: 8,
+            },
+        );
+        reg.counter("q").add(3);
+        tl.advance(ms(10));
+        tl.finish();
+        tl.validate().unwrap();
+        assert_eq!(tl.merged_counter("q"), 3);
+        assert_eq!(tl.merged_histogram("lat").count, 0);
+    }
+
+    #[test]
+    fn events_land_in_their_window() {
+        let (_reg, mut tl) = timeline(10, 64);
+        tl.advance(ms(3));
+        tl.annotate("balancer.split", "chunk 7");
+        tl.advance(ms(10));
+        tl.annotate("balancer.migrate", "chunk 9: 0 → 1");
+        tl.finish();
+        tl.validate().unwrap();
+        let windows: Vec<_> = tl.windows().collect();
+        assert_eq!(windows[0].events.len(), 1);
+        assert_eq!(windows[0].events[0].kind, "balancer.split");
+        assert_eq!(windows[1].events.len(), 1);
+        assert_eq!(windows[1].events[0].kind, "balancer.migrate");
+    }
+
+    #[test]
+    fn slo_rows_ride_the_windows() {
+        let (_reg, mut tl) = timeline(10, 64);
+        tl.set_slo(SloPolicy {
+            name: "q".into(),
+            objective: 0.9,
+            threshold: Duration::from_millis(1),
+            rules: vec![],
+        });
+        for i in 0..10 {
+            let lat = if i < 5 {
+                Duration::from_micros(10)
+            } else {
+                Duration::from_millis(2)
+            };
+            tl.observe_latency(lat);
+            tl.advance(ms(2));
+        }
+        tl.finish();
+        tl.validate().unwrap();
+        let rows: Vec<_> = tl.windows().filter_map(|w| w.slo).collect();
+        assert_eq!(rows.iter().map(|r| r.total).sum::<u64>(), 10);
+        assert_eq!(rows.iter().map(|r| r.bad).sum::<u64>(), 5);
+    }
+}

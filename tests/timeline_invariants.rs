@@ -1,0 +1,326 @@
+//! End-to-end invariants of the telemetry timeline (PR 9): windows
+//! partition the run, window deltas telescope to the cumulative
+//! registry, SLO budget accounting is exact, burn alerts fire iff both
+//! views of a multi-window rule trip, balancer/ingest events land in
+//! the windows that contain them, and the `sts-timeline/1` validator
+//! catches tampering.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Json;
+use sts::core::{Approach, StStore, StoreConfig, TimelineConfig};
+use sts::obs::{timeline_json, validate_timeline_json, BurnRule, Registry, SloPolicy, Timeline};
+use sts::workload::fleet::{FleetConfig, FleetStream};
+use sts::workload::queries::full_workload;
+use sts::workload::Record;
+
+fn policy(threshold: Duration, rules: Vec<BurnRule>) -> SloPolicy {
+    SloPolicy {
+        name: "query-p99".into(),
+        objective: 0.9,
+        threshold,
+        rules,
+    }
+}
+
+/// Re-derive which alerts *should* have fired from the per-window SLO
+/// rows alone — the independent oracle for the tracker's multi-window
+/// burn evaluation. Returns `(window, short_windows, long_windows)`.
+fn expected_alerts(
+    rows: &[(u64, u64, u64)],
+    rules: &[BurnRule],
+    budget: f64,
+) -> Vec<(u64, usize, usize)> {
+    let burn = |tail: &[(u64, u64, u64)]| {
+        let total: u64 = tail.iter().map(|r| r.1).sum();
+        let bad: u64 = tail.iter().map(|r| r.2).sum();
+        if total == 0 {
+            0.0
+        } else {
+            (bad as f64 / total as f64) / budget
+        }
+    };
+    let mut fired = Vec::new();
+    for i in 0..rows.len() {
+        for rule in rules {
+            let short = burn(&rows[i.saturating_sub(rule.short_windows - 1)..=i]);
+            let long = burn(&rows[i.saturating_sub(rule.long_windows - 1)..=i]);
+            if short >= rule.factor && long >= rule.factor {
+                fired.push((rows[i].0, rule.short_windows, rule.long_windows));
+            }
+        }
+    }
+    fired
+}
+
+/// A live ingest + query run against a real store upholds every
+/// structural invariant the exporters and CI gate rely on.
+#[test]
+fn live_run_upholds_all_invariants() {
+    let fleet = FleetConfig {
+        records: 3_000,
+        vehicles: 50,
+        seed: 0xBEE5,
+        ..Default::default()
+    };
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 4,
+        max_chunk_bytes: 32 * 1024,
+        ..Default::default()
+    });
+    store.set_metrics_registry(Arc::new(Registry::new()));
+    store.enable_timeline(
+        TimelineConfig {
+            window: Duration::from_micros(500),
+            capacity: 4_096,
+        },
+        Some(policy(
+            Duration::from_micros(200),
+            vec![BurnRule {
+                short_windows: 2,
+                long_windows: 8,
+                factor: 2.0,
+            }],
+        )),
+    );
+
+    let queries: Vec<_> = full_workload(sts::document::DateTime::from_ymd_hms(2018, 7, 1, 0, 0, 0))
+        .into_iter()
+        .map(|(_, _, q)| q)
+        .collect();
+    let mut docs = 0u64;
+    let mut batches = 0u64;
+    let mut n_queries = 0u64;
+    let mut qi = 0usize;
+    for batch in FleetStream::new(&fleet, 250) {
+        docs += store
+            .insert_batch(batch.iter().map(Record::to_document))
+            .unwrap();
+        batches += 1;
+        for _ in 0..3 {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            let _ = store.st_query(q);
+            n_queries += 1;
+        }
+    }
+    let (tl, folded) = store.finish_timeline().expect("timeline was enabled");
+
+    // The structural validator: tiling, telescoping, SLO accounting.
+    tl.validate().expect("all timeline invariants hold");
+    assert!(tl.is_finished());
+    assert_eq!(tl.dropped(), 0, "capacity was ample; nothing evicted");
+
+    // Windows partition the virtual clock from zero to the run end.
+    let windows: Vec<_> = tl.windows().collect();
+    assert!(!windows.is_empty());
+    assert_eq!(windows[0].start, Duration::ZERO);
+    assert_eq!(windows.last().unwrap().end, tl.now());
+    for pair in windows.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start, "windows tile with no gaps");
+        assert_eq!(pair[0].index + 1, pair[1].index);
+    }
+
+    // Window deltas telescope to the cumulative registry totals.
+    assert_eq!(tl.merged_counter("ingest.docs"), docs);
+    assert_eq!(tl.merged_counter("ingest.batches"), batches);
+    let qh = tl.merged_histogram("query.total");
+    assert_eq!(qh.count, n_queries, "every query's latency is windowed");
+
+    // SLO: budget consumed equals the sum of per-window violations
+    // over the budget-weighted total, and the alert set matches an
+    // independent re-derivation from the window rows.
+    let slo = tl.slo().expect("SLO was configured");
+    let rows: Vec<(u64, u64, u64)> = windows
+        .iter()
+        .filter_map(|w| w.slo.map(|s| (w.index, s.total, s.bad)))
+        .collect();
+    assert_eq!(
+        rows.len(),
+        windows.len(),
+        "every window carries its SLO row"
+    );
+    let (total, bad) = slo.totals();
+    assert_eq!(total, n_queries);
+    assert_eq!(rows.iter().map(|r| r.1).sum::<u64>(), total);
+    assert_eq!(rows.iter().map(|r| r.2).sum::<u64>(), bad);
+    let budget = slo.policy().budget();
+    if total > 0 {
+        let expect = bad as f64 / (budget * total as f64);
+        assert!((slo.budget_consumed() - expect).abs() < 1e-9);
+    }
+    let derived = expected_alerts(&rows, &slo.policy().rules, budget);
+    let recorded: Vec<(u64, usize, usize)> = slo
+        .alerts()
+        .iter()
+        .map(|a| (a.window, a.rule.short_windows, a.rule.long_windows))
+        .collect();
+    assert_eq!(recorded, derived, "alerts fire iff both views trip");
+
+    // Event correlation: every batch commit annotated, balancer splits
+    // observed (the tiny chunk size forces them), and each event sits
+    // inside its window's bounds.
+    let commits: usize = windows
+        .iter()
+        .flat_map(|w| &w.events)
+        .filter(|e| e.kind == "ingest.commit")
+        .count();
+    assert_eq!(commits as u64, batches, "one annotation per batch commit");
+    assert!(
+        windows
+            .iter()
+            .flat_map(|w| &w.events)
+            .any(|e| e.kind == "balancer.split"),
+        "splits ride the timeline as events"
+    );
+    for w in &windows {
+        for e in &w.events {
+            assert!(w.start <= e.at && e.at <= w.end, "event inside its window");
+        }
+    }
+
+    // The cross-query flamegraph aggregated every stage.
+    assert!(!folded.is_empty());
+    assert!(folded
+        .iter()
+        .any(|(k, _)| k.starts_with("stQuery;shardExec")));
+
+    // Export round-trips through the shim and the schema validator.
+    let doc = timeline_json(&tl, &[("approach", "hil")]);
+    let text = serde_json::to_string_pretty(&doc).unwrap();
+    let parsed: Json = serde_json::from_str(&text).unwrap();
+    validate_timeline_json(&parsed).expect("export validates");
+}
+
+/// Deterministic virtual-clock check of the multi-window burn rule:
+/// the alert fires exactly once, at the window where the short *and*
+/// long views both exceed the factor — a later short-view-only spike
+/// stays quiet.
+#[test]
+fn burn_alerts_fire_exactly_when_both_views_trip() {
+    let registry = Arc::new(Registry::new());
+    let mut tl = Timeline::new(
+        registry,
+        TimelineConfig {
+            window: Duration::from_millis(1),
+            capacity: 64,
+        },
+    );
+    // budget 0.1; rule: short 1 window, long 2 windows, factor 5.
+    tl.set_slo(policy(
+        Duration::from_micros(100),
+        vec![BurnRule {
+            short_windows: 1,
+            long_windows: 2,
+            factor: 5.0,
+        }],
+    ));
+    let good = Duration::from_micros(50);
+    let bad = Duration::from_micros(200);
+    // w0: clean. w1: fully bad — short (10/10)/0.1 = 10 ≥ 5 and long
+    // (10/20)/0.1 = 5 ≥ 5 → fires. w2: clean. w3: half bad — short
+    // (5/10)/0.1 = 5 trips but long (5/20)/0.1 = 2.5 < 5 → quiet.
+    for window in [[good; 10], [bad; 10], [good; 10]] {
+        for d in window {
+            tl.observe_latency(d);
+        }
+        tl.advance(Duration::from_millis(1));
+    }
+    for i in 0..10 {
+        tl.observe_latency(if i < 5 { bad } else { good });
+    }
+    tl.advance(Duration::from_millis(1));
+    tl.finish();
+
+    tl.validate().unwrap();
+    let slo = tl.slo().unwrap();
+    assert_eq!(slo.alerts().len(), 1, "exactly one alert fired");
+    let a = slo.alerts()[0];
+    assert_eq!(a.window, 1);
+    assert!((a.short_burn - 10.0).abs() < 1e-9);
+    assert!((a.long_burn - 5.0).abs() < 1e-9);
+    // The alert rides its window in the export.
+    let windows: Vec<_> = tl.windows().collect();
+    assert_eq!(windows[1].alerts.len(), 1);
+    assert!(windows[3].alerts.is_empty(), "short-only spike stays quiet");
+    assert_eq!(slo.totals(), (40, 15));
+    assert!((slo.budget_consumed() - 15.0 / (0.1 * 40.0)).abs() < 1e-9);
+}
+
+/// The schema validator is a real gate: tampering with the SLO
+/// accounting, the window bounds, or the schema tag is rejected.
+#[test]
+fn validator_rejects_tampered_documents() {
+    let registry = Arc::new(Registry::new());
+    let mut tl = Timeline::new(
+        registry,
+        TimelineConfig {
+            window: Duration::from_millis(1),
+            capacity: 16,
+        },
+    );
+    tl.set_slo(policy(Duration::from_micros(100), vec![]));
+    for i in 0..30 {
+        tl.observe_latency(Duration::from_micros(if i % 3 == 0 { 200 } else { 50 }));
+        tl.advance(Duration::from_micros(100));
+    }
+    tl.finish();
+    let doc = timeline_json(&tl, &[]);
+    validate_timeline_json(&doc).expect("untampered doc validates");
+
+    type FieldEdit<'a> = &'a dyn Fn(&mut Vec<(String, Json)>);
+    let tamper = |doc: &Json, f: FieldEdit| -> Json {
+        let mut v = doc.clone();
+        if let Json::Obj(fields) = &mut v {
+            f(fields);
+        }
+        v
+    };
+    // Wrong schema tag.
+    let broken = tamper(&doc, &|fields| {
+        for (k, v) in fields.iter_mut() {
+            if k == "schema" {
+                *v = Json::Str("sts-timeline/0".into());
+            }
+        }
+    });
+    assert!(validate_timeline_json(&broken).is_err());
+    // Inflated cumulative violation count breaks the partition check.
+    let broken = tamper(&doc, &|fields| {
+        for (k, v) in fields.iter_mut() {
+            if k == "slo" {
+                if let Json::Obj(slo) = v {
+                    for (sk, sv) in slo.iter_mut() {
+                        if sk == "totalViolations" {
+                            if let Json::UInt(n) = sv {
+                                *sv = Json::UInt(*n + 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    assert!(validate_timeline_json(&broken).is_err());
+    // A gap in the window tiling is caught.
+    let broken = tamper(&doc, &|fields| {
+        for (k, v) in fields.iter_mut() {
+            if k == "windows" {
+                if let Json::Arr(ws) = v {
+                    if let Some(Json::Obj(w)) = ws.last_mut() {
+                        for (wk, wv) in w.iter_mut() {
+                            if wk == "startNanos" {
+                                if let Json::UInt(n) = wv {
+                                    *wv = Json::UInt(*n + 1);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    assert!(validate_timeline_json(&broken).is_err());
+}

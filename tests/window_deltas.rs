@@ -1,0 +1,126 @@
+//! Property suite for windowed histogram delta arithmetic — the
+//! foundation the telemetry timeline's invariants stand on. A timeline
+//! window is the *difference* of two cumulative bucket dumps
+//! ([`HistogramCounts::delta`]); for the timeline's validation to be
+//! exact rather than statistical, three algebraic facts must hold for
+//! any recording sequence:
+//!
+//! 1. deltas telescope — merging every window delta reproduces the
+//!    cumulative histogram bucket-for-bucket (count, sum, saturation),
+//! 2. per-window min/max estimates bound the true window extremes at
+//!    bucket resolution,
+//! 3. quantiles of merged deltas are sane: monotone in `q` and pinned
+//!    inside the observed `[min, max]`.
+//!
+//! [`HistogramCounts::delta`]: sts::obs::HistogramCounts::delta
+
+use proptest::prelude::*;
+use std::time::Duration;
+use sts::obs::{Histogram, HistogramCounts};
+
+/// A run of recording batches: each inner vec is one timeline window's
+/// worth of latencies (nanoseconds, zero to multi-second scale so the
+/// log-linear buckets all get exercised).
+fn batches() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(1u64..5_000_000_000, 0..24), 1..8)
+}
+
+/// Record the batches into one histogram, dumping cumulative counts at
+/// each window boundary; return the per-window deltas alongside the
+/// final cumulative dump.
+fn window_deltas(batches: &[Vec<u64>]) -> (Vec<HistogramCounts>, HistogramCounts) {
+    let h = Histogram::new();
+    let mut cursor = HistogramCounts::empty();
+    let mut deltas = Vec::new();
+    for batch in batches {
+        for &nanos in batch {
+            h.record(Duration::from_nanos(nanos));
+        }
+        let dump = h.counts();
+        deltas.push(dump.delta(&cursor));
+        cursor = dump;
+    }
+    (deltas, cursor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Snapshot-minus-snapshot deltas partition the recordings: each
+    /// window's count is its batch size, and merging every delta gives
+    /// back the cumulative histogram exactly.
+    #[test]
+    fn deltas_telescope_to_the_cumulative_histogram(batches in batches()) {
+        let (deltas, cumulative) = window_deltas(&batches);
+        for (delta, batch) in deltas.iter().zip(&batches) {
+            prop_assert_eq!(delta.count, batch.len() as u64);
+            let sum: u64 = batch.iter().sum();
+            prop_assert_eq!(delta.sum_nanos, sum);
+        }
+        let mut merged = HistogramCounts::empty();
+        for delta in &deltas {
+            merged.merge(delta);
+        }
+        prop_assert_eq!(&merged.buckets, &cumulative.buckets);
+        prop_assert_eq!(merged.count, cumulative.count);
+        prop_assert_eq!(merged.sum_nanos, cumulative.sum_nanos);
+        prop_assert_eq!(merged.saturated, cumulative.saturated);
+    }
+
+    /// A window delta only sees bucket counts, so its min/max are
+    /// bucket-resolution estimates — but they must always *bound* the
+    /// true window extremes (clamped by the exactly-tracked cumulative
+    /// extremes).
+    #[test]
+    fn delta_extremes_bound_the_true_window_extremes(batches in batches()) {
+        let (deltas, _) = window_deltas(&batches);
+        for (delta, batch) in deltas.iter().zip(&batches) {
+            if batch.is_empty() {
+                prop_assert!(delta.is_empty());
+                continue;
+            }
+            let true_min = *batch.iter().min().unwrap();
+            let true_max = *batch.iter().max().unwrap();
+            prop_assert!(
+                delta.min_nanos <= true_min,
+                "window min estimate {} above true min {}",
+                delta.min_nanos, true_min
+            );
+            prop_assert!(
+                delta.max_nanos >= true_max,
+                "window max estimate {} below true max {}",
+                delta.max_nanos, true_max
+            );
+            prop_assert!(delta.min_nanos <= delta.max_nanos);
+        }
+    }
+
+    /// Quantiles of a merge of window deltas: monotone in `q`, inside
+    /// the estimated `[min, max]`, with the mean conserved exactly
+    /// (sum and count both telescope).
+    #[test]
+    fn quantiles_after_merge_are_sane(batches in batches()) {
+        let (deltas, _) = window_deltas(&batches);
+        let mut merged = HistogramCounts::empty();
+        for delta in &deltas {
+            merged.merge(delta);
+        }
+        let n: usize = batches.iter().map(Vec::len).sum();
+        prop_assert_eq!(merged.count, n as u64);
+        if n > 0 {
+            let p50 = merged.percentile(0.50);
+            let p95 = merged.percentile(0.95);
+            let p99 = merged.percentile(0.99);
+            prop_assert!(p50 <= p95 && p95 <= p99);
+            let lo = Duration::from_nanos(merged.min_nanos);
+            let hi = Duration::from_nanos(merged.max_nanos);
+            for q in [p50, p95, p99] {
+                prop_assert!(lo <= q && q <= hi, "quantile {q:?} outside [{lo:?}, {hi:?}]");
+            }
+            let true_sum: u64 = batches.iter().flatten().sum();
+            let mean = merged.mean();
+            prop_assert_eq!(mean, Duration::from_nanos(true_sum / n as u64));
+            prop_assert!(lo <= mean && mean <= hi);
+        }
+    }
+}
