@@ -13,6 +13,12 @@
 //! batched cursor optimises are exactly tail work). p99 and the mean
 //! stay informational — at smoke scale one or two scheduler-noise
 //! outliers can drag them tens of percent.
+//! The router warm-path key (`warm_p50_us`, the cache-hit serve path)
+//! gates separately at `--max-warm-latency-pct` (default 75%): its
+//! absolute values are lookup-scale, so the ordinary tolerance would
+//! gate on scheduler noise. Baselines written before the router tier
+//! carry no warm keys — those rows are skipped until the baseline is
+//! refreshed with a current perfsmoke.
 //! Counter gates apply to keys/docs examined, mean nodes and the
 //! Hilbert covering-range total — those are deterministic at a fixed
 //! seed, so the tolerance is tight. `results` must match exactly: a
@@ -22,7 +28,15 @@
 use serde::Json;
 
 const LATENCY_METRICS: [&str; 2] = ["p50_us", "p95_us"];
-const INFO_METRICS: [&str; 2] = ["mean_us", "p99_us"];
+/// Router warm-path keys: the cache-hit serve path measured by the
+/// perfsmoke warm window. Gated separately (`--max-warm-latency-pct`,
+/// default 75%) because the absolute values are lookup-scale — a
+/// fraction of a microsecond of scheduler noise is a large percentage
+/// there. Reports written before the router tier carry no warm keys;
+/// those rows print "(missing — skipped)" and pass, so an old
+/// committed baseline keeps working until it is refreshed.
+const WARM_METRICS: [&str; 1] = ["warm_p50_us"];
+const INFO_METRICS: [&str; 4] = ["mean_us", "p99_us", "warm_p95_us", "cache_hit_ratio"];
 const COUNTER_METRICS: [&str; 6] = [
     "max_keys_examined",
     "max_docs_examined",
@@ -37,6 +51,7 @@ fn main() {
     let mut files = Vec::new();
     let mut check = false;
     let mut max_latency_pct = 35.0f64;
+    let mut max_warm_latency_pct = 75.0f64;
     let mut max_counter_pct = 5.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -51,6 +66,8 @@ fn main() {
             check = true;
         } else if let Some(v) = grab("--max-latency-pct") {
             max_latency_pct = v.parse().expect("--max-latency-pct takes a number");
+        } else if let Some(v) = grab("--max-warm-latency-pct") {
+            max_warm_latency_pct = v.parse().expect("--max-warm-latency-pct takes a number");
         } else if let Some(v) = grab("--max-counter-pct") {
             max_counter_pct = v.parse().expect("--max-counter-pct takes a number");
         } else if a.starts_with("--") {
@@ -61,7 +78,7 @@ fn main() {
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: bench-diff <baseline.json> <current.json> [--check] [--max-latency-pct N] [--max-counter-pct N]");
+        eprintln!("usage: bench-diff <baseline.json> <current.json> [--check] [--max-latency-pct N] [--max-warm-latency-pct N] [--max-counter-pct N]");
         std::process::exit(2);
     }
     let baseline = load(&files[0]);
@@ -104,6 +121,9 @@ fn main() {
         for m in LATENCY_METRICS {
             failures += compare(&name, m, base, cur, Some(max_latency_pct));
         }
+        for m in WARM_METRICS {
+            failures += compare(&name, m, base, cur, Some(max_warm_latency_pct));
+        }
         for m in INFO_METRICS {
             failures += compare(&name, m, base, cur, None);
         }
@@ -135,7 +155,7 @@ fn main() {
     }
 
     if failures > 0 {
-        println!("\n{failures} metric(s) regressed past tolerance (latency {max_latency_pct}%, counters {max_counter_pct}%).");
+        println!("\n{failures} metric(s) regressed past tolerance (latency {max_latency_pct}%, warm {max_warm_latency_pct}%, counters {max_counter_pct}%).");
         println!(
             "if the regression is intended (e.g. an accepted perf trade-off or a counter\n\
              semantics change), refresh the committed baseline and commit it:\n\
@@ -154,7 +174,7 @@ fn main() {
         }
         println!("(informational run: pass --check to gate)");
     } else {
-        println!("\nno regressions past tolerance (latency {max_latency_pct}%, counters {max_counter_pct}%).");
+        println!("\nno regressions past tolerance (latency {max_latency_pct}%, warm {max_warm_latency_pct}%, counters {max_counter_pct}%).");
     }
 }
 

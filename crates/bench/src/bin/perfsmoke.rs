@@ -21,14 +21,22 @@
 //! queries-routed Gini and latency percentiles — emitting
 //! schema-versioned `sts-curvematrix/1` JSON and exiting non-zero if
 //! any cell's result count disagrees with the in-binary full scan.
+//!
+//! With `--router` it instead runs the repeated-shape Zipf workload
+//! against the full router tier (plan + result caches, admission
+//! control): per (approach × curve) cell it reports cold/warm
+//! latency percentiles, hit ratio, executor steal counts and the
+//! overload-drill shed counts as schema-versioned `sts-router/1`
+//! JSON, exiting non-zero when exactness, the ≥ 0.9 warm hit ratio or
+//! the ≥ 5× hil/hil* warm speedup gate fails.
 
 use serde::Serialize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use sts_bench::{
     build_store, clustered_query_batch, dataset_records, save_json_to, small_query_batch,
-    utc_date_string, Dataset, HarnessConfig,
+    utc_date_string, zipf_sequence, Dataset, HarnessConfig,
 };
-use sts_core::Approach;
+use sts_core::{AdmissionConfig, Approach, RouterConfig};
 use sts_curve::CurveFamily;
 use sts_obs::Histogram;
 
@@ -76,6 +84,17 @@ struct ApproachRow {
     /// Hilbert decomposition totals (zero for the baselines).
     covering_us_total: f64,
     covering_ranges_total: usize,
+    /// Router warm path: the same batch re-run with the result-page
+    /// cache enabled, after one priming pass. Latency is end-to-end
+    /// wall per query (min over `--runs`), since a cache hit never
+    /// touches a shard. bench-diff gates `warm_p50_us` with its own
+    /// (wider) tolerance — absolute values are lookup-scale.
+    warm_p50_us: f64,
+    warm_p95_us: f64,
+    /// Result-cache hit ratio over the measured warm window (priming
+    /// excluded). Informational in bench-diff; `perfsmoke --router`
+    /// gates it.
+    cache_hit_ratio: f64,
     /// Range-budget ablation (Hilbert methods only): the same batch
     /// re-run at budgets 16/32/64/128 against the already-loaded store,
     /// showing the seeks-vs-false-positives trade-off the default
@@ -121,6 +140,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut ablation_path: Option<String> = None;
     let mut curve_matrix = false;
+    let mut router = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| -> Option<String> {
@@ -138,6 +158,8 @@ fn main() {
             ablation_path = Some(v);
         } else if a == "--curve-matrix" {
             curve_matrix = true;
+        } else if a == "--router" {
+            router = true;
         } else {
             eprintln!("perfsmoke: unknown argument {a}");
             std::process::exit(2);
@@ -146,6 +168,10 @@ fn main() {
     if curve_matrix {
         let path = json_path.unwrap_or_else(|| "results/CURVE_matrix.json".to_string());
         std::process::exit(run_matrix(&cfg, n_queries, &path));
+    }
+    if router {
+        let path = json_path.unwrap_or_else(|| "results/ROUTER_smoke.json".to_string());
+        std::process::exit(run_router(&cfg, n_queries, &path));
     }
     let path = json_path.unwrap_or_else(|| format!("results/BENCH_{}.json", utc_date_string()));
     eprintln!(
@@ -409,6 +435,300 @@ fn run_matrix_cell(
     cell
 }
 
+// ------------------------------------------------------- router smoke
+
+/// Bump when the router report layout changes incompatibly.
+const ROUTER_SCHEMA: &str = "sts-router/1";
+
+/// Distinct query shapes the Zipf draw repeats over.
+const ROUTER_SHAPES: usize = 32;
+
+#[derive(Serialize)]
+struct RouterSmokeReport {
+    schema: String,
+    generated_at: String,
+    scale: f64,
+    shards: usize,
+    seed: u64,
+    /// Distinct query shapes in the pool.
+    shapes: usize,
+    /// Zipf(s=1) draws over the pool (the measured warm window).
+    queries: usize,
+    records: u64,
+    workload: String,
+    cells: Vec<RouterCell>,
+    /// The load-shedding drill: one tenant with a tiny frozen token
+    /// bucket hammers the store; the excess must shed, other tenants
+    /// must keep flowing.
+    overload: OverloadSummary,
+}
+
+/// One (approach × curve) cell of the repeated-shape workload.
+#[derive(Serialize)]
+struct RouterCell {
+    approach: String,
+    curve: String,
+    /// First execution of each shape (plan + result miss), end-to-end
+    /// wall in microseconds.
+    cold_p50_us: f64,
+    cold_p95_us: f64,
+    /// Steady-state Zipf window with the result cache primed.
+    warm_p50_us: f64,
+    warm_p95_us: f64,
+    /// cold_p50 / warm_p50 — the headline cache win.
+    speedup_p50: f64,
+    /// Result-cache hit ratio over the warm window (gate: ≥ 0.9).
+    hit_ratio: f64,
+    plan_cache_hits: u64,
+    result_cache_hits: u64,
+    result_cache_misses: u64,
+    executor_tasks: u64,
+    executor_steals: u64,
+    /// Matching documents across the warm window (exactness anchor).
+    results: u64,
+    /// Every execution's result count matched the in-binary full scan.
+    exact: bool,
+}
+
+#[derive(Serialize)]
+struct OverloadSummary {
+    attempted: u64,
+    admitted: u64,
+    sheds: u64,
+    other_tenant_admitted: bool,
+}
+
+/// Score every (approach × curve) cell on the repeated-shape Zipf
+/// workload with the full router tier enabled, then run the overload
+/// drill. Returns the process exit code: non-zero when any cell is
+/// inexact, any cell's warm hit ratio is below 0.9, or a curve-based
+/// cell's warm p50 is not at least 5× faster than cold (the CI
+/// `router-perf` gates).
+fn run_router(cfg: &HarnessConfig, n_queries: usize, path: &str) -> i32 {
+    eprintln!(
+        "# perfsmoke --router: scale={} shards={} seed={:#x} shapes={ROUTER_SHAPES} \
+         queries={n_queries} -> {path}",
+        cfg.scale, cfg.num_shards, cfg.seed
+    );
+    let records = dataset_records(Dataset::R, cfg, 1);
+    let shapes = small_query_batch(ROUTER_SHAPES, cfg.seed);
+    let seq = zipf_sequence(n_queries, ROUTER_SHAPES, cfg.seed);
+    let expected: Vec<u64> = shapes
+        .iter()
+        .map(|q| {
+            records
+                .iter()
+                .filter(|r| q.matches(r.lon, r.lat, r.date))
+                .count() as u64
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<8} {:<8} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8} {:>9} {:>6}",
+        "approach",
+        "curve",
+        "cold50(us)",
+        "warm50(us)",
+        "warm95(us)",
+        "speedup",
+        "hitrate",
+        "steals",
+        "results",
+        "exact"
+    );
+    for approach in Approach::ALL {
+        let families: &[CurveFamily] = if approach.uses_hilbert() {
+            &CurveFamily::ALL
+        } else {
+            &[CurveFamily::Hilbert]
+        };
+        for &family in families {
+            let mut run_cfg = *cfg;
+            run_cfg.curve = family;
+            cells.push(run_router_cell(
+                approach, family, &records, &shapes, &seq, &expected, &run_cfg,
+            ));
+        }
+    }
+
+    let overload = run_overload_drill(&records, cfg);
+
+    let mut failures = Vec::new();
+    for c in &cells {
+        let name = format!("{}/{}", c.approach, c.curve);
+        if !c.exact {
+            failures.push(format!("{name}: result-count drift against the full scan"));
+        }
+        if c.hit_ratio < 0.9 {
+            failures.push(format!("{name}: warm hit ratio {:.3} < 0.9", c.hit_ratio));
+        }
+        // The 5× warm-path gate applies to the curve-based approaches —
+        // the production hot path this tier exists for. The baselines'
+        // cold queries are single-shard date lookups that can already
+        // be lookup-scale, so a ratio gate there measures noise.
+        if matches!(c.approach.as_str(), "hil" | "hil*") && c.speedup_p50 < 5.0 {
+            failures.push(format!(
+                "{name}: warm p50 only {:.1}× faster than cold (< 5×)",
+                c.speedup_p50
+            ));
+        }
+    }
+    if overload.sheds == 0 || overload.admitted == 0 || !overload.other_tenant_admitted {
+        failures.push(format!(
+            "overload drill: admitted={} sheds={} other_tenant_admitted={} \
+             (need all three non-degenerate)",
+            overload.admitted, overload.sheds, overload.other_tenant_admitted
+        ));
+    }
+
+    let report = RouterSmokeReport {
+        schema: ROUTER_SCHEMA.to_string(),
+        generated_at: utc_date_string(),
+        scale: cfg.scale,
+        shards: cfg.num_shards,
+        seed: cfg.seed,
+        shapes: ROUTER_SHAPES,
+        queries: n_queries,
+        records: records.len() as u64,
+        workload: "zipf(s=1) repeated-shape over hotspot rectangles".to_string(),
+        cells,
+        overload,
+    };
+    if let Err(e) = save_json_to(std::path::Path::new(path), &report) {
+        eprintln!("perfsmoke: cannot write {path}: {e}");
+        return 1;
+    }
+    eprintln!("# wrote {path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("perfsmoke --router GATE FAIL: {f}");
+        }
+        return 1;
+    }
+    0
+}
+
+fn run_router_cell(
+    approach: Approach,
+    family: CurveFamily,
+    records: &[sts_workload::Record],
+    shapes: &[sts_core::StQuery],
+    seq: &[usize],
+    expected: &[u64],
+    cfg: &HarnessConfig,
+) -> RouterCell {
+    let mut store = build_store(approach, Dataset::R, records, cfg, false);
+    store.set_metrics_registry(std::sync::Arc::new(sts_obs::Registry::new()));
+    store.set_router_config(RouterConfig {
+        result_cache_entries: 1024,
+        result_cache_max_docs: 1 << 20,
+        ..RouterConfig::default()
+    });
+
+    // Cold window: the first execution of every shape pays the full
+    // plan + execute + fill cost. End-to-end wall, since that is what
+    // the warm path is compared against.
+    let cold = Histogram::new();
+    let mut exact = true;
+    for (q, &want) in shapes.iter().zip(expected) {
+        let (docs, r) = store.st_query(q);
+        cold.record(r.cluster.wall);
+        exact &= docs.len() as u64 == want && !r.cluster.partial;
+    }
+
+    // Warm window: the Zipf draw over the primed shapes.
+    let c0 = store.result_cache_counters();
+    let warm = Histogram::new();
+    let mut results = 0u64;
+    for &idx in seq {
+        let (docs, r) = store.st_query(&shapes[idx]);
+        warm.record(r.cluster.wall);
+        results += docs.len() as u64;
+        exact &= docs.len() as u64 == expected[idx] && !r.cluster.partial;
+    }
+    let c1 = store.result_cache_counters();
+    let served = c1.hits - c0.hits;
+    let total = served + (c1.misses - c0.misses) + (c1.stale - c0.stale);
+    let hit_ratio = if total == 0 {
+        0.0
+    } else {
+        served as f64 / total as f64
+    };
+
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let (cold_snap, warm_snap) = (cold.snapshot(), warm.snapshot());
+    let exec = store.executor_stats();
+    let cell = RouterCell {
+        approach: approach.name().to_string(),
+        curve: curve_label(approach, family),
+        cold_p50_us: us(cold_snap.p50),
+        cold_p95_us: us(cold_snap.p95),
+        warm_p50_us: us(warm_snap.p50),
+        warm_p95_us: us(warm_snap.p95),
+        speedup_p50: us(cold_snap.p50) / us(warm_snap.p50).max(1e-9),
+        hit_ratio,
+        plan_cache_hits: store.plan_cache_counters().hits,
+        result_cache_hits: served,
+        result_cache_misses: c1.misses - c0.misses,
+        executor_tasks: exec.tasks,
+        executor_steals: exec.steals,
+        results,
+        exact,
+    };
+    println!(
+        "{:<8} {:<8} {:>10.1} {:>10.1} {:>10.1} {:>8.1}x {:>8.3} {:>8} {:>9} {:>6}",
+        cell.approach,
+        cell.curve,
+        cell.cold_p50_us,
+        cell.warm_p50_us,
+        cell.warm_p95_us,
+        cell.speedup_p50,
+        cell.hit_ratio,
+        cell.executor_steals,
+        cell.results,
+        cell.exact
+    );
+    cell
+}
+
+/// The shed drill: one tenant with a frozen 8-token bucket fires 24
+/// admitted queries — 8 must flow, 16 must shed — while a second
+/// tenant's own bucket keeps it unaffected.
+fn run_overload_drill(records: &[sts_workload::Record], cfg: &HarnessConfig) -> OverloadSummary {
+    let mut store = build_store(Approach::Hil, Dataset::R, records, cfg, false);
+    store.set_metrics_registry(std::sync::Arc::new(sts_obs::Registry::new()));
+    store.set_router_config(RouterConfig {
+        admission: AdmissionConfig {
+            enabled: true,
+            tenant_burst: 8.0,
+            tenant_rate_per_sec: 0.0,
+            ..AdmissionConfig::default()
+        },
+        ..RouterConfig::default()
+    });
+    let q = &small_query_batch(1, cfg.seed)[0];
+    let attempted = 24u64;
+    let mut admitted = 0u64;
+    for _ in 0..attempted {
+        if store.st_query_admitted("overload-tenant", q).is_ok() {
+            admitted += 1;
+        }
+    }
+    let other_tenant_admitted = store.st_query_admitted("background-tenant", q).is_ok();
+    let summary = OverloadSummary {
+        attempted,
+        admitted,
+        sheds: store.shed_count(),
+        other_tenant_admitted,
+    };
+    println!(
+        "overload  {:>3}/{} admitted, {} shed, other tenant admitted: {}",
+        summary.admitted, summary.attempted, summary.sheds, summary.other_tenant_admitted
+    );
+    summary
+}
+
 fn run_approach(
     approach: Approach,
     records: &[sts_workload::Record],
@@ -513,6 +833,36 @@ fn run_approach(
         Vec::new()
     };
 
+    // Warm path: re-run the batch against the result-page cache. This
+    // comes after the ablation so cached pages can never leak into the
+    // budget sweep, and restores the default budget first so the warm
+    // plans match the cold window's. One priming pass fills the cache
+    // (all misses); the measured pass is the steady-state hit path.
+    store.set_range_budget(sts_curve::RangeBudget::default());
+    store.set_router_config(RouterConfig {
+        result_cache_entries: 4096,
+        result_cache_max_docs: 1 << 20,
+        ..RouterConfig::default()
+    });
+    for q in queries {
+        let _ = store.st_query(q);
+    }
+    let c0 = store.result_cache_counters();
+    let warm = Histogram::new();
+    for q in queries {
+        let mut best = None;
+        for _ in 0..runs {
+            let (_, r) = store.st_query(q);
+            let wall = r.cluster.wall;
+            best = Some(best.map_or(wall, |b: Duration| b.min(wall)));
+        }
+        warm.record(best.expect("runs >= 1"));
+    }
+    let c1 = store.result_cache_counters();
+    let warm_served = c1.hits - c0.hits;
+    let warm_total = warm_served + (c1.misses - c0.misses) + (c1.stale - c0.stale);
+    let warm_snap = warm.snapshot();
+
     let row = ApproachRow {
         approach: approach.name().to_string(),
         curve: curve_label(approach, cfg.curve),
@@ -531,6 +881,13 @@ fn run_approach(
         results,
         covering_us_total: covering_us,
         covering_ranges_total: covering_ranges,
+        warm_p50_us: us(warm_snap.p50),
+        warm_p95_us: us(warm_snap.p95),
+        cache_hit_ratio: if warm_total == 0 {
+            0.0
+        } else {
+            warm_served as f64 / warm_total as f64
+        },
         budget_ablation,
     };
     println!(

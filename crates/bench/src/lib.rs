@@ -403,6 +403,31 @@ pub fn clustered_query_batch(n: usize, seed: u64) -> Vec<StQuery> {
         .collect()
 }
 
+/// A Zipf(s=1) draw sequence over `k` distinct shapes: rank `r`
+/// (0-based) is drawn with probability ∝ 1/(r+1), so a handful of hot
+/// shapes dominate — the repeated-shape regime a result cache exists
+/// for. Deterministic in `seed` (SplitMix64), shared by
+/// `perfsmoke --router`.
+pub fn zipf_sequence(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0, "need at least one shape");
+    let weights: Vec<f64> = (0..k).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut next = splitmix64_stream(seed ^ 0x21F0_CAFE);
+    (0..n)
+        .map(|_| {
+            // 53 uniform bits → [0, total).
+            let mut u = (next() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return i;
+                }
+                u -= w;
+            }
+            k - 1
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +507,19 @@ mod tests {
         let c = small_query_batch(16, 43);
         assert_ne!(a, c, "seed changes the batch");
         assert!(a.iter().all(|q| q.t1 > q.t0));
+    }
+
+    #[test]
+    fn zipf_sequence_is_skewed_and_deterministic() {
+        let a = zipf_sequence(4096, 32, 7);
+        assert_eq!(a, zipf_sequence(4096, 32, 7));
+        assert!(a.iter().all(|&i| i < 32));
+        // Rank 0 carries weight 1/H(32) ≈ 0.25 of the mass; rank 31
+        // carries ~1/32 of that. The skew must actually show up.
+        let hot = a.iter().filter(|&&i| i == 0).count();
+        let cold = a.iter().filter(|&&i| i == 31).count();
+        assert!(hot > 6 * cold.max(1), "hot {hot} vs cold {cold}");
+        assert_ne!(a, zipf_sequence(4096, 32, 8), "seed changes the draw");
     }
 
     #[test]

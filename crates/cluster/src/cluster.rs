@@ -1,6 +1,7 @@
 //! The cluster: shards + routing table + balancer + mongos front-end.
 
 use crate::chunk::ChunkMap;
+use crate::executor::{ExecutorConfig, ExecutorStats, ShardExecutor};
 use crate::faults::{AttemptCtx, FailPoint, FaultInjector, FaultKind};
 use crate::health::{skew, BalancerEventKind, ClusterHealth, HealthSnapshot};
 use crate::report::{ClusterQueryReport, ShardExecution};
@@ -8,7 +9,6 @@ use crate::retry::{run_with_recovery, RecoveryPolicy, ShardRecovery};
 use crate::shard::Shard;
 use crate::shardkey::{ShardKey, ShardStrategy};
 use crate::zones::{zones_from_boundaries, Zone};
-use rayon::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,6 +37,9 @@ pub struct ClusterConfig {
     pub fault_seed: u64,
     /// Live-balancer policy applied at every batch commit.
     pub balancer: LiveBalancerConfig,
+    /// Work-stealing shard-executor tunables (worker count, per-shard
+    /// queue depth).
+    pub executor: ExecutorConfig,
 }
 
 impl Default for ClusterConfig {
@@ -48,8 +51,41 @@ impl Default for ClusterConfig {
             recovery: RecoveryPolicy::default(),
             fault_seed: 0x5EED_FA17,
             balancer: LiveBalancerConfig::default(),
+            executor: ExecutorConfig::default(),
         }
     }
+}
+
+/// A routing decision a plan cache can hold and replay: the target
+/// shards, the broadcast flag, the routing-table chunk indices the
+/// decision touched, and the routing generation it was computed
+/// against. A plan whose `generation` no longer matches
+/// [`Cluster::routing_generation`] is stale — the chunk map changed
+/// under it (split, migration, zone application) — and must be
+/// recomputed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutePlan {
+    /// Shards the query must visit, ascending.
+    pub targets: Vec<usize>,
+    /// Whether that is a broadcast (no shard-key constraint).
+    pub broadcast: bool,
+    /// Chunk indices the routing decision touched (heat accounting).
+    pub touched: Vec<usize>,
+    /// The routing generation this plan is valid for.
+    pub generation: u64,
+}
+
+/// Per-query execution overrides for [`Cluster::query_exec`]: an
+/// optional cached routing decision and an optional recovery-policy
+/// override (the router's shed/hedge machinery forces hedged reads
+/// through the latter).
+#[derive(Clone, Copy, Default)]
+pub struct QueryExecOptions<'a> {
+    /// A previously computed routing decision; used only while its
+    /// generation matches the live routing table.
+    pub route: Option<&'a RoutePlan>,
+    /// Recovery-policy override for this query alone.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 /// Policy for the live balancer that runs at batch-commit time,
@@ -101,6 +137,19 @@ pub struct Cluster {
     /// bound to. One atomic store here is the cluster-wide commit point
     /// of a staged ingest batch.
     epoch: Arc<AtomicU64>,
+    /// Routing generation: bumped whenever the chunk map changes shape
+    /// or ownership (split, committed migration, zone application).
+    /// Cached [`RoutePlan`]s are valid only while their generation
+    /// matches.
+    routing_gen: AtomicU64,
+    /// Write generation: bumped on every synchronous insert, staged
+    /// insert and delete. Together with the committed epoch it stamps
+    /// result-cache entries, so a cached page is invalidated by *any*
+    /// mutation that could change a result set — epoch-published
+    /// batches and non-epoch writes alike.
+    writes: AtomicU64,
+    /// The work-stealing shard executor behind every scatter/gather.
+    executor: ShardExecutor,
     /// Metric sink for router/shard observables. Defaults to the
     /// process-wide registry; [`Cluster::set_metrics_registry`] rescopes
     /// the whole deployment (router + every shard) onto a private one.
@@ -178,6 +227,7 @@ impl Cluster {
         }
         let faults = FaultInjector::new(config.fault_seed);
         let health = ClusterHealth::new(config.num_shards);
+        let executor = ShardExecutor::new(config.executor);
         Cluster {
             config,
             shard_key,
@@ -189,8 +239,28 @@ impl Cluster {
             faults,
             health,
             epoch,
+            routing_gen: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            executor,
             obs: sts_obs::global_handle(),
         }
+    }
+
+    /// The work-stealing executor's tunables.
+    pub fn executor_config(&self) -> ExecutorConfig {
+        self.executor.config()
+    }
+
+    /// Replace the executor tunables (takes effect on the next query).
+    pub fn set_executor_config(&mut self, config: ExecutorConfig) {
+        self.config.executor = config;
+        self.executor.set_config(config);
+    }
+
+    /// Cumulative executor counters: tasks, steals, overflow spills,
+    /// inline fan-outs.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.executor.stats()
     }
 
     /// Rescope every metric this deployment records — the router's
@@ -214,6 +284,14 @@ impl Cluster {
     /// against the current routing table.
     pub fn health_snapshot(&self) -> HealthSnapshot {
         self.health.snapshot(&self.chunks, &self.docs_per_shard())
+    }
+
+    /// A percentile of the health ledger's per-query cluster latency
+    /// (slowest shard's total cost, virtual recovery delay included)
+    /// plus the number of queries backing it — the tail signal the
+    /// router tier's shed/hedge decision consumes.
+    pub fn health_latency_percentile(&self, q: f64) -> (Duration, u64) {
+        self.health.latency_percentile(q)
     }
 
     /// Balancer events with `seq >= from`, in order — the incremental
@@ -289,8 +367,20 @@ impl Cluster {
         self.shards.iter().map(|s| s.len() as u64).sum()
     }
 
+    /// The routing generation cached [`RoutePlan`]s are checked against.
+    pub fn routing_generation(&self) -> u64 {
+        self.routing_gen.load(Ordering::Acquire)
+    }
+
+    /// The write generation result-cache entries are stamped with (see
+    /// the field docs: every insert/stage/delete bumps it).
+    pub fn write_generation(&self) -> u64 {
+        self.writes.load(Ordering::Acquire)
+    }
+
     /// Route a document and insert it, splitting/balancing as needed.
     pub fn insert(&mut self, doc: &Document) -> Result<(), String> {
+        self.writes.fetch_add(1, Ordering::Release);
         let key = self.shard_key.key_bytes(doc);
         let cidx = self.chunks.route(&key);
         let shard_id = self.chunks.chunks()[cidx].shard;
@@ -335,6 +425,7 @@ impl Cluster {
     /// the `(shard, record id)` the document landed on, which
     /// [`ingest`](Self::ingest) uses to roll a failed batch back.
     pub fn stage(&mut self, doc: &Document) -> Result<(usize, u64), String> {
+        self.writes.fetch_add(1, Ordering::Release);
         let key = self.shard_key.key_bytes(doc);
         let cidx = self.chunks.route(&key);
         let shard_id = self.chunks.chunks()[cidx].shard;
@@ -518,6 +609,7 @@ impl Cluster {
             self.mark_jumbo(cidx);
             return;
         }
+        self.routing_gen.fetch_add(1, Ordering::Release);
         self.health.record_event(min, BalancerEventKind::Split);
         self.obs.counter("balancer.splits").inc();
     }
@@ -660,6 +752,7 @@ impl Cluster {
                 self.shards[src].collection_mut().remove(*rid);
             }
             self.chunks.assign(chunk_idx, dst);
+            self.routing_gen.fetch_add(1, Ordering::Release);
             self.migrations.chunks_moved += 1;
             self.migrations.docs_moved += records.len() as u64;
             self.health.record_event(
@@ -727,6 +820,7 @@ impl Cluster {
     pub fn apply_zones(&mut self, boundaries: &[Vec<u8>]) {
         let zones = zones_from_boundaries(boundaries, self.config.num_shards);
         self.chunks.split_at_boundaries(boundaries);
+        self.routing_gen.fetch_add(1, Ordering::Release);
         self.zones = Some(zones);
         self.balance();
     }
@@ -796,31 +890,74 @@ impl Cluster {
         }
     }
 
-    /// The unified scatter/gather: route, fan out under the recovery
-    /// policy (failpoint draws, timeouts, backoff retries, hedged
-    /// reads), gather in shard order. Abandoned shards contribute an
-    /// incomplete [`ShardExecution`] and flip the report's `partial`
-    /// flag instead of losing the whole query.
+    /// Compute (and stamp) a reusable routing decision for `filter` —
+    /// what the router tier's plan cache holds next to the covering.
+    pub fn route_plan(&self, filter: &Filter) -> RoutePlan {
+        // Read the generation *before* routing: if the map changes
+        // mid-computation the plan self-invalidates rather than
+        // claiming a freshness it doesn't have.
+        let generation = self.routing_generation();
+        let (targets, broadcast, touched) = self.route(filter);
+        RoutePlan {
+            targets,
+            broadcast,
+            touched,
+            generation,
+        }
+    }
+
+    /// The unified scatter/gather: route (or replay a cached,
+    /// generation-checked [`RoutePlan`]), fan out on the work-stealing
+    /// shard executor under the recovery policy (failpoint draws,
+    /// timeouts, backoff retries, hedged reads), gather in shard
+    /// order. Abandoned shards contribute an incomplete
+    /// [`ShardExecution`] and flip the report's `partial` flag instead
+    /// of losing the whole query.
     fn scatter_gather<R: Send>(
         &self,
         filter: &Filter,
+        opts: QueryExecOptions,
         run: impl Fn(usize) -> (R, ExecutionStats) + Sync,
     ) -> (Vec<R>, ClusterQueryReport) {
         /// One gathered row: shard id, its answer (`None` once the
         /// recovery policy gave the shard up), and the recovery record.
         type GatherRow<R> = (usize, Option<(R, ExecutionStats)>, ShardRecovery);
         let start = Instant::now();
-        let (targets, broadcast, touched_chunks) = self.route(filter);
+        let cached_route = opts
+            .route
+            .filter(|p| p.generation == self.routing_generation());
+        let computed;
+        let (targets, broadcast, touched_chunks): (&[usize], bool, &[usize]) = match cached_route {
+            Some(p) => {
+                self.obs.counter("router.route_reused").inc();
+                (&p.targets, p.broadcast, &p.touched)
+            }
+            None => {
+                if opts.route.is_some() {
+                    // A plan was offered but the chunk map moved on.
+                    self.obs.counter("router.route_stale").inc();
+                }
+                computed = self.route(filter);
+                (&computed.0, computed.1, &computed.2)
+            }
+        };
         let routing = start.elapsed();
         let query_id = self.faults.begin_query();
-        let policy = self.config.recovery;
-        let mut results: Vec<GatherRow<R>> = targets
-            .par_iter()
-            .map(|&sid| {
-                let (out, recovery) =
-                    run_with_recovery(&policy, &self.faults, query_id, sid, || run(sid));
-                (sid, out, recovery)
-            })
+        let policy = opts.recovery.unwrap_or(self.config.recovery);
+        let mut results: Vec<GatherRow<R>> = self
+            .executor
+            .execute(
+                &self.obs,
+                targets,
+                |&sid| sid,
+                |&sid| {
+                    let (out, recovery) =
+                        run_with_recovery(&policy, &self.faults, query_id, sid, || run(sid));
+                    (sid, out, recovery)
+                },
+            )
+            .into_iter()
+            .map(|(_, row)| row)
             .collect();
         results.sort_by_key(|(sid, _, _)| *sid);
         let mut payloads = Vec::with_capacity(results.len());
@@ -866,8 +1003,19 @@ impl Cluster {
 
     /// Route, scatter, execute in parallel, gather.
     pub fn query(&self, filter: &Filter) -> (Vec<Document>, ClusterQueryReport) {
+        self.query_exec(filter, QueryExecOptions::default())
+    }
+
+    /// [`Cluster::query`] with per-query overrides: a cached routing
+    /// decision to replay and/or a recovery-policy override (the
+    /// router tier's hedge escalation).
+    pub fn query_exec(
+        &self,
+        filter: &Filter,
+        opts: QueryExecOptions,
+    ) -> (Vec<Document>, ClusterQueryReport) {
         let planner = self.config.planner;
-        let (chunks, mut report) = self.scatter_gather(filter, |sid| {
+        let (chunks, mut report) = self.scatter_gather(filter, opts, |sid| {
             self.shards[sid]
                 .collection()
                 .find_with_planner(&planner, filter)
@@ -903,12 +1051,13 @@ impl Cluster {
         options: &sts_query::FindOptions,
     ) -> (Vec<Document>, ClusterQueryReport) {
         let planner = self.config.planner;
-        let (chunks, mut report) = self.scatter_gather(filter, |sid| {
-            let coll = self.shards[sid].collection();
-            let (mut docs, stats) = coll.find_with_planner(&planner, filter);
-            options.shape(&mut docs);
-            (docs, stats)
-        });
+        let (chunks, mut report) =
+            self.scatter_gather(filter, QueryExecOptions::default(), |sid| {
+                let coll = self.shards[sid].collection();
+                let (mut docs, stats) = coll.find_with_planner(&planner, filter);
+                options.shape(&mut docs);
+                (docs, stats)
+            });
         let merge_start = Instant::now();
         let total: usize = chunks.iter().map(Vec::len).sum();
         let mut docs: Vec<Document> = Vec::with_capacity(total);
@@ -934,6 +1083,7 @@ impl Cluster {
     /// shards, keeping indexes and chunk counters consistent. Returns
     /// the number removed.
     pub fn delete(&mut self, filter: &Filter) -> u64 {
+        self.writes.fetch_add(1, Ordering::Release);
         let (targets, _) = self.target_shards(filter);
         let mut removed_docs: Vec<Document> = Vec::new();
         for sid in targets {
@@ -959,9 +1109,10 @@ impl Cluster {
         filter: &Filter,
         spec: &sts_query::GroupBy,
     ) -> (Vec<Document>, ClusterQueryReport) {
-        let (partials, mut report) = self.scatter_gather(filter, |sid| {
-            sts_query::aggregate_local(self.shards[sid].collection(), filter, spec)
-        });
+        let (partials, mut report) =
+            self.scatter_gather(filter, QueryExecOptions::default(), |sid| {
+                sts_query::aggregate_local(self.shards[sid].collection(), filter, spec)
+            });
         let merge_start = Instant::now();
         let mut merged = sts_query::PartialAggregation::default();
         for partial in partials {

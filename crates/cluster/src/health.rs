@@ -110,6 +110,10 @@ pub(crate) struct ClusterHealth {
     /// and migrations (which do not change bounds).
     chunk_heat: Mutex<BTreeMap<Vec<u8>, u64>>,
     events: Mutex<Vec<BalancerEvent>>,
+    /// Per-query cluster latency (slowest shard's total cost, virtual
+    /// recovery delay included) — the tail signal the router tier's
+    /// shed/hedge decision reads as "health-ledger p99".
+    latency: sts_obs::Histogram,
 }
 
 impl ClusterHealth {
@@ -118,11 +122,13 @@ impl ClusterHealth {
             shards: (0..num_shards).map(|_| ShardLoad::default()).collect(),
             chunk_heat: Mutex::new(BTreeMap::new()),
             events: Mutex::new(Vec::new()),
+            latency: sts_obs::Histogram::new(),
         }
     }
 
     /// Fold one gathered query into the per-shard counters.
     pub(crate) fn record_query(&self, report: &ClusterQueryReport) {
+        self.latency.record(report.max_shard_total_time());
         for s in &report.per_shard {
             let Some(load) = self.shards.get(s.shard) else {
                 continue;
@@ -135,6 +141,12 @@ impl ClusterHealth {
             load.returned
                 .fetch_add(s.stats.n_returned, Ordering::Relaxed);
         }
+    }
+
+    /// A percentile of the ledger's per-query cluster latency, and how
+    /// many queries back it. `(Duration::ZERO, 0)` before any query.
+    pub(crate) fn latency_percentile(&self, q: f64) -> (std::time::Duration, u64) {
+        (self.latency.percentile(q), self.latency.count())
     }
 
     /// Bump the heat counter of every chunk a query's routing touched.

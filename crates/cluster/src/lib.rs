@@ -57,6 +57,7 @@
 
 mod chunk;
 mod cluster;
+pub mod executor;
 pub mod faults;
 pub mod health;
 mod report;
@@ -66,7 +67,10 @@ mod shardkey;
 mod zones;
 
 pub use chunk::{Chunk, ChunkMap, SplitError};
-pub use cluster::{Cluster, ClusterConfig, LiveBalancerConfig, MigrationStats};
+pub use cluster::{
+    Cluster, ClusterConfig, LiveBalancerConfig, MigrationStats, QueryExecOptions, RoutePlan,
+};
+pub use executor::{ExecutorConfig, ExecutorStats, ShardExecutor};
 pub use faults::{AttemptCtx, FailPoint, FailPointMode, FaultInjector, FaultKind};
 pub use health::{
     skew, BalancerEvent, BalancerEventKind, ChunkHeatSnapshot, HealthSnapshot, ShardLoadSnapshot,

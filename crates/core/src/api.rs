@@ -3,12 +3,18 @@
 use crate::approach::Approach;
 use crate::config::StoreConfig;
 use crate::profiler::{Profiler, ProfilerConfig, QueryKind};
-use crate::query::{build_filter_with, CoverBuffers, StQuery};
+use crate::query::{assemble_filter, build_filter_with, compute_covering, CoverBuffers, StQuery};
 use crate::report::QueryReport;
+use crate::router::{
+    Admission, AdmissionDecision, CacheCounters, CacheOutcome, PlanCache, PlanEntry, PlanKey,
+    ResultCache, ResultEntry, ResultKey, RouterConfig, RouterReport, Shed,
+};
 use crate::{HILBERT_FIELD, LOCATION_FIELD};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use sts_cluster::{
-    Cluster, ClusterConfig, ClusterQueryReport, FailPoint, HealthSnapshot, RecoveryPolicy,
+    Cluster, ClusterConfig, ClusterQueryReport, ExecutorStats, FailPoint, HealthSnapshot,
+    QueryExecOptions, RecoveryPolicy, RoutePlan,
 };
 use sts_curve::Curve;
 use sts_document::Document;
@@ -31,16 +37,35 @@ struct Telemetry {
 pub struct StStore {
     config: StoreConfig,
     curve: Option<Arc<dyn Curve>>,
+    /// The active curve's fingerprint, cached at deploy time — the
+    /// plan/result cache key component identifying the exact fit.
+    fingerprint: Option<u64>,
     cluster: Cluster,
     profiler: Profiler,
     /// Reusable Hilbert-decomposition buffers (interval-tree arena +
     /// covering list). Queries take `&self`, hence the mutex; it is
     /// uncontended in the single-router simulator.
     cover: Mutex<CoverBuffers>,
+    /// Covering-plan cache (`None` when disabled). `Arc` so one cache
+    /// can front several stores — entries are fingerprint-keyed.
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Result-page cache (`None` when disabled, the default).
+    result_cache: Option<Arc<ResultCache>>,
+    /// Admission control + load shedding.
+    admission: Admission,
     /// Continuous telemetry (disabled until
     /// [`StStore::enable_timeline`]). `&self` recording, like the
     /// profiler.
     telemetry: Mutex<Option<Telemetry>>,
+}
+
+/// What [`StStore::plan_query`] hands the execution paths.
+struct PlannedQuery {
+    filter: Filter,
+    hilbert_time: Duration,
+    hilbert_ranges: usize,
+    route: Option<Arc<RoutePlan>>,
+    router: RouterReport,
 }
 
 impl StStore {
@@ -60,18 +85,100 @@ impl StStore {
                 recovery: config.recovery,
                 fault_seed: config.fault_seed,
                 balancer: config.balancer,
+                executor: config.router.executor,
             },
             config.approach.shard_key(),
             config.approach.index_specs(config.geo_bits),
         );
+        let fingerprint = curve.as_ref().map(|c| c.fingerprint());
+        let router = config.router;
         StStore {
             config,
             curve,
+            fingerprint,
             cluster,
             profiler: Profiler::default(),
             cover: Mutex::new(CoverBuffers::new()),
+            plan_cache: (router.plan_cache_entries > 0).then(|| {
+                Arc::new(PlanCache::new(
+                    router.plan_cache_entries,
+                    router.plan_cache_shards,
+                ))
+            }),
+            result_cache: (router.result_cache_entries > 0).then(|| {
+                Arc::new(ResultCache::new(
+                    router.result_cache_entries,
+                    router.plan_cache_shards,
+                ))
+            }),
+            admission: Admission::new(router.admission),
             telemetry: Mutex::new(None),
         }
+    }
+
+    /// Replace the router-tier configuration: caches are rebuilt empty
+    /// at the new sizes, admission buckets reset, and the executor
+    /// retuned.
+    pub fn set_router_config(&mut self, router: RouterConfig) {
+        self.config.router = router;
+        self.plan_cache = (router.plan_cache_entries > 0).then(|| {
+            Arc::new(PlanCache::new(
+                router.plan_cache_entries,
+                router.plan_cache_shards,
+            ))
+        });
+        self.result_cache = (router.result_cache_entries > 0).then(|| {
+            Arc::new(ResultCache::new(
+                router.result_cache_entries,
+                router.plan_cache_shards,
+            ))
+        });
+        self.admission = Admission::new(router.admission);
+        self.cluster.set_executor_config(router.executor);
+    }
+
+    /// Share a covering-plan cache with other stores (a router process
+    /// fronting many collections). Entries are keyed by approach +
+    /// curve fingerprint + budget, so stores with different fitted
+    /// curves coexist in one cache without ever sharing entries.
+    pub fn share_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.plan_cache = Some(cache);
+    }
+
+    /// The live covering-plan cache, if enabled.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Plan-cache counters (zeroed `CacheCounters` when disabled).
+    pub fn plan_cache_counters(&self) -> CacheCounters {
+        self.plan_cache
+            .as_ref()
+            .map(|c| c.counters())
+            .unwrap_or_default()
+    }
+
+    /// Result-cache counters (zeroed `CacheCounters` when disabled).
+    pub fn result_cache_counters(&self) -> CacheCounters {
+        self.result_cache
+            .as_ref()
+            .map(|c| c.counters())
+            .unwrap_or_default()
+    }
+
+    /// Work-stealing shard-executor counters.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.cluster.executor_stats()
+    }
+
+    /// Queries refused by admission control so far.
+    pub fn shed_count(&self) -> u64 {
+        self.admission.sheds()
+    }
+
+    /// Queries escalated to hedged reads by the latency policy so far.
+    pub fn hedge_count(&self) -> u64 {
+        self.admission.hedges()
     }
 
     /// Replace the covering-range budget (per-query decompositions pick
@@ -97,6 +204,111 @@ impl StStore {
                 self.config.range_budget,
                 &mut cover,
             )
+        }
+    }
+
+    /// Plan a query through the covering-plan cache: on a hit the
+    /// filter is assembled from the cached coalesced ranges (skipping
+    /// the curve decomposition entirely) and the cached routing
+    /// decision is replayed if its generation still matches the chunk
+    /// map; on a miss the covering is computed for the *quantized*
+    /// plan-key rectangle and the entry filled. StHash bypasses the
+    /// cache (its composite-hash filter has its own construction).
+    fn plan_query(&self, query: &StQuery) -> PlannedQuery {
+        if self.config.approach == Approach::StHash {
+            let (filter, hilbert_time, hilbert_ranges) = crate::sthash::build_filter(
+                query,
+                self.config.range_budget.max_ranges.min(1 << 20),
+            );
+            return PlannedQuery {
+                filter,
+                hilbert_time,
+                hilbert_ranges,
+                route: None,
+                router: RouterReport::default(),
+            };
+        }
+        let Some(cache) = &self.plan_cache else {
+            let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
+            return PlannedQuery {
+                filter,
+                hilbert_time,
+                hilbert_ranges,
+                route: None,
+                router: RouterReport::default(),
+            };
+        };
+        let (key, qrect) = PlanKey::new(
+            self.config.approach,
+            self.fingerprint,
+            self.config.range_budget.max_ranges,
+            query,
+            &self.config.router,
+        );
+        let obs = self.metrics_registry();
+        if let Some(entry) = cache.get(&key) {
+            obs.counter("router.plancache.hit").inc();
+            let filter = assemble_filter(query, self.curve.is_some().then_some(&entry.ranges[..]));
+            let mut router = RouterReport {
+                plan_cache: CacheOutcome::Hit,
+                ..RouterReport::default()
+            };
+            let route = if entry.route.generation == self.cluster.routing_generation() {
+                router.route_reused = true;
+                entry.route.clone()
+            } else {
+                // The covering is still good; only the routing half
+                // went stale (split/migration/zones since the fill).
+                obs.counter("router.plancache.route_refresh").inc();
+                let fresh = Arc::new(self.cluster.route_plan(&filter));
+                cache.insert(
+                    key,
+                    PlanEntry {
+                        ranges: entry.ranges.clone(),
+                        route: fresh.clone(),
+                    },
+                );
+                fresh
+            };
+            return PlannedQuery {
+                filter,
+                hilbert_time: Duration::ZERO,
+                hilbert_ranges: entry.ranges.len(),
+                route: Some(route),
+                router,
+            };
+        }
+        obs.counter("router.plancache.miss").inc();
+        let (ranges, hilbert_time) = match self.curve.as_deref() {
+            None => (Arc::new(Vec::new()), Duration::ZERO),
+            Some(grid) => {
+                let mut cover = self
+                    .cover
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let t = compute_covering(&qrect, grid, self.config.range_budget, &mut cover);
+                (Arc::new(cover.ranges().to_vec()), t)
+            }
+        };
+        let filter = assemble_filter(query, self.curve.is_some().then_some(&ranges[..]));
+        let route = Arc::new(self.cluster.route_plan(&filter));
+        let hilbert_ranges = ranges.len();
+        cache.insert(
+            key,
+            PlanEntry {
+                ranges,
+                route: route.clone(),
+            },
+        );
+        PlannedQuery {
+            filter,
+            hilbert_time,
+            hilbert_ranges,
+            route: Some(route),
+            router: RouterReport {
+                plan_cache: CacheOutcome::Miss,
+                ..RouterReport::default()
+            },
         }
     }
 
@@ -230,6 +442,18 @@ impl StStore {
             tel.timeline.annotate(e.kind.name(), e.detail());
         }
         tel.timeline.advance(wall);
+    }
+
+    /// Drop one annotation on the live timeline (no-op when telemetry
+    /// is off).
+    fn timeline_annotate(&self, kind: &str, detail: String) {
+        let mut guard = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(tel) = guard.as_mut() {
+            tel.timeline.annotate(kind, detail);
+        }
     }
 
     /// Post-execution bookkeeping shared by every query path: the
@@ -418,13 +642,155 @@ impl StStore {
 
     /// Execute a spatio-temporal range query.
     pub fn st_query(&self, query: &StQuery) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
-        let (docs, cluster) = self.cluster.query(&filter);
+        self.st_query_exec(query, None, false)
+    }
+
+    /// Execute a query through admission control: the tenant's token
+    /// bucket is charged, and when the health ledger's p99 exceeds the
+    /// latency budget the query is hedged (burn still tolerable) or
+    /// shed (SLO burning fast — see [`crate::router::AdmissionConfig`]).
+    /// Every shed and forced hedge lands on the timeline as an event
+    /// and in the `router.sheds`/`router.hedges_forced` counters.
+    pub fn st_query_admitted(
+        &self,
+        tenant: &str,
+        query: &StQuery,
+    ) -> Result<(Vec<Document>, QueryReport), Shed> {
+        let (p99, observations) = self.cluster.health_latency_percentile(0.99);
+        // `budget_consumed` folds the open window in, so the signal is
+        // live even before the timeline seals its first window.
+        let burn = self
+            .with_timeline(|t| t.slo().map(|s| s.budget_consumed()))
+            .flatten();
+        match self.admission.decide(tenant, p99, observations, burn) {
+            AdmissionDecision::Admit => Ok(self.st_query(query)),
+            AdmissionDecision::AdmitHedged => {
+                self.metrics_registry()
+                    .counter("router.hedges_forced")
+                    .inc();
+                self.timeline_annotate(
+                    "router.hedge",
+                    format!("tenant={tenant} p99={}us over budget", p99.as_micros()),
+                );
+                let hedged = RecoveryPolicy {
+                    hedge_reads: true,
+                    ..self.config.recovery
+                };
+                Ok(self.st_query_exec(query, Some(hedged), true))
+            }
+            AdmissionDecision::Shed(shed) => {
+                self.metrics_registry().counter("router.sheds").inc();
+                self.timeline_annotate("router.shed", shed.to_string());
+                Err(shed)
+            }
+        }
+    }
+
+    /// The shared find path: result-cache probe, plan-cache-assisted
+    /// covering + routing, execution, result-cache fill.
+    fn st_query_exec(
+        &self,
+        query: &StQuery,
+        recovery: Option<RecoveryPolicy>,
+        hedged_by_policy: bool,
+    ) -> (Vec<Document>, QueryReport) {
+        let started = Instant::now();
+        let rkey = self
+            .result_cache
+            .as_ref()
+            .filter(|_| self.config.approach != Approach::StHash)
+            .map(|_| {
+                ResultKey::new(
+                    self.config.approach,
+                    self.fingerprint,
+                    self.config.range_budget.max_ranges,
+                    query,
+                )
+            });
+        let mut result_outcome = CacheOutcome::Bypass;
+        if let (Some(cache), Some(key)) = (&self.result_cache, rkey.as_ref()) {
+            let epoch = self.cluster.snapshot_epoch();
+            let writes = self.cluster.write_generation();
+            match cache.get(key) {
+                Some(entry) if entry.valid_at(epoch, writes) => {
+                    self.metrics_registry()
+                        .counter("router.resultcache.hit")
+                        .inc();
+                    let report = QueryReport {
+                        cluster: entry.hit_report(started.elapsed()),
+                        hilbert_time: Duration::ZERO,
+                        hilbert_ranges: entry.ranges,
+                        curve_fingerprint: self.fingerprint,
+                        router: RouterReport {
+                            result_cache: CacheOutcome::Hit,
+                            hedged_by_policy,
+                            ..RouterReport::default()
+                        },
+                    };
+                    self.observe_query(QueryKind::Find, *query, &report);
+                    return ((*entry.docs).clone(), report);
+                }
+                Some(_) => {
+                    // A page exists but the data moved on; drop it and
+                    // recompute (the fill below re-stamps it).
+                    cache.invalidate(key);
+                    self.metrics_registry()
+                        .counter("router.resultcache.stale")
+                        .inc();
+                    result_outcome = CacheOutcome::Stale;
+                }
+                None => {
+                    self.metrics_registry()
+                        .counter("router.resultcache.miss")
+                        .inc();
+                    result_outcome = CacheOutcome::Miss;
+                }
+            }
+        }
+        let planned = self.plan_query(query);
+        let epoch = self.cluster.snapshot_epoch();
+        let writes = self.cluster.write_generation();
+        let (docs, cluster) = self.cluster.query_exec(
+            &planned.filter,
+            QueryExecOptions {
+                route: planned.route.as_deref(),
+                recovery,
+            },
+        );
+        if result_outcome != CacheOutcome::Bypass {
+            if let (Some(cache), Some(key)) = (&self.result_cache, rkey) {
+                // Cache only complete pages whose data version did not
+                // move during execution — a concurrent commit between
+                // the stamp and the scan could otherwise freeze a torn
+                // batch into the cache.
+                if !cluster.partial
+                    && docs.len() <= self.config.router.result_cache_max_docs
+                    && self.cluster.snapshot_epoch() == epoch
+                    && self.cluster.write_generation() == writes
+                {
+                    cache.insert(
+                        key,
+                        ResultEntry {
+                            docs: Arc::new(docs.clone()),
+                            report: Arc::new(cluster.clone()),
+                            ranges: planned.hilbert_ranges,
+                            epoch,
+                            writes,
+                        },
+                    );
+                }
+            }
+        }
         let report = QueryReport {
             cluster,
-            hilbert_time,
-            hilbert_ranges,
-            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
+            hilbert_time: planned.hilbert_time,
+            hilbert_ranges: planned.hilbert_ranges,
+            curve_fingerprint: self.fingerprint,
+            router: RouterReport {
+                result_cache: result_outcome,
+                hedged_by_policy,
+                ..planned.router
+            },
         };
         self.observe_query(QueryKind::Find, *query, &report);
         (docs, report)
@@ -433,9 +799,17 @@ impl StStore {
     /// MongoDB-style `explain("executionStats")`: execute the query and
     /// return the stage-timing document instead of the result set —
     /// per-shard planning/indexScan/fetchFilter/recovery micros plus the
-    /// router's covering/routing/merge stages.
+    /// router's covering/routing/merge stages and the router-tier
+    /// cache counters.
     pub fn st_explain(&self, query: &StQuery) -> Document {
-        self.st_query(query).1.explain()
+        let mut d = self.st_query(query).1.explain();
+        if let Some(cache) = &self.plan_cache {
+            d.set("planCacheCounters", counters_doc(cache.counters()));
+        }
+        if let Some(cache) = &self.result_cache {
+            d.set("resultCacheCounters", counters_doc(cache.counters()));
+        }
+        d
     }
 
     /// Like [`StStore::st_query`], but a shard abandoned by the
@@ -482,7 +856,8 @@ impl StStore {
             cluster,
             hilbert_time,
             hilbert_ranges,
-            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
+            curve_fingerprint: self.fingerprint,
+            router: RouterReport::default(),
         };
         // The profiler records the polygon's bounding box as the shape.
         let shape = StQuery {
@@ -512,13 +887,14 @@ impl StStore {
         query: &StQuery,
         options: &sts_query::FindOptions,
     ) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
-        let (docs, cluster) = self.cluster.query_with_options(&filter, options);
+        let planned = self.plan_query(query);
+        let (docs, cluster) = self.cluster.query_with_options(&planned.filter, options);
         let report = QueryReport {
             cluster,
-            hilbert_time,
-            hilbert_ranges,
-            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
+            hilbert_time: planned.hilbert_time,
+            hilbert_ranges: planned.hilbert_ranges,
+            curve_fingerprint: self.fingerprint,
+            router: planned.router,
         };
         self.observe_query(QueryKind::TopK, *query, &report);
         (docs, report)
@@ -532,13 +908,14 @@ impl StStore {
         query: &StQuery,
         spec: &sts_query::GroupBy,
     ) -> (Vec<Document>, QueryReport) {
-        let (filter, hilbert_time, hilbert_ranges) = self.cover_filter(query);
-        let (docs, cluster) = self.cluster.aggregate(&filter, spec);
+        let planned = self.plan_query(query);
+        let (docs, cluster) = self.cluster.aggregate(&planned.filter, spec);
         let report = QueryReport {
             cluster,
-            hilbert_time,
-            hilbert_ranges,
-            curve_fingerprint: self.curve.as_ref().map(|c| c.fingerprint()),
+            hilbert_time: planned.hilbert_time,
+            hilbert_ranges: planned.hilbert_ranges,
+            curve_fingerprint: self.fingerprint,
+            router: planned.router,
         };
         self.observe_query(QueryKind::Aggregate, *query, &report);
         (docs, report)
@@ -576,6 +953,17 @@ impl StStore {
     pub fn index_sizes(&self) -> Vec<(String, sts_btree::SizeReport)> {
         self.cluster.index_sizes()
     }
+}
+
+/// Render cache counters as an explain sub-document.
+fn counters_doc(c: CacheCounters) -> sts_document::Value {
+    sts_document::Value::Document(sts_document::doc! {
+        "hits" => c.hits as i64,
+        "misses" => c.misses as i64,
+        "evictions" => c.evictions as i64,
+        "insertions" => c.insertions as i64,
+        "stale" => c.stale as i64,
+    })
 }
 
 #[cfg(test)]

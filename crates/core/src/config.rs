@@ -1,6 +1,7 @@
 //! Store configuration.
 
 use crate::approach::Approach;
+use crate::router::RouterConfig;
 use sts_cluster::{LiveBalancerConfig, RecoveryPolicy};
 use sts_curve::{CurveFamily, RangeBudget};
 use sts_geo::{GeoPoint, GeoRect};
@@ -44,6 +45,9 @@ pub struct StoreConfig {
     pub fault_seed: u64,
     /// Live-balancer policy applied at every ingest-batch commit.
     pub balancer: LiveBalancerConfig,
+    /// Router tier: plan/result caching, the work-stealing shard
+    /// executor, and admission control.
+    pub router: RouterConfig,
 }
 
 impl Default for StoreConfig {
@@ -64,6 +68,7 @@ impl Default for StoreConfig {
             recovery: RecoveryPolicy::default(),
             fault_seed: 0x5EED_FA17,
             balancer: LiveBalancerConfig::default(),
+            router: RouterConfig::default(),
         }
     }
 }

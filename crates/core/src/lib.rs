@@ -56,6 +56,7 @@ mod config;
 pub mod profiler;
 mod query;
 mod report;
+pub mod router;
 pub mod sthash;
 
 pub use adaptive::access_weight;
@@ -64,12 +65,17 @@ pub use approach::Approach;
 pub use config::StoreConfig;
 pub use profiler::{ProfileEntry, Profiler, ProfilerConfig, QueryKind};
 pub use query::{
-    build_filter, build_filter_with, build_polygon_filter, build_polygon_filter_with, CoverBuffers,
-    StQuery,
+    assemble_filter, build_filter, build_filter_with, build_polygon_filter,
+    build_polygon_filter_with, compute_covering, CoverBuffers, StQuery,
 };
 pub use report::QueryReport;
+pub use router::{
+    AdmissionConfig, CacheCounters, CacheOutcome, PlanCache, ResultCache, RouterConfig,
+    RouterReport, Shed, ShedReason,
+};
 pub use sts_cluster::{
-    FailPoint, FailPointMode, FaultKind, HealthSnapshot, RecoveryPolicy, ShardRecovery, Skew,
+    ExecutorConfig, ExecutorStats, FailPoint, FailPointMode, FaultKind, HealthSnapshot,
+    RecoveryPolicy, ShardRecovery, Skew,
 };
 pub use sts_obs::{FoldedStacks, SloPolicy, Timeline, TimelineConfig, Trace, TraceError, TraceId};
 pub use sts_query::QueryError;

@@ -12,8 +12,8 @@ use sts_query::Filter;
 /// the same high-water-mark allocations instead of rebuilding them.
 #[derive(Default)]
 pub struct CoverBuffers {
-    scratch: CoveringScratch,
-    ranges: Vec<(u64, u64)>,
+    pub(crate) scratch: CoveringScratch,
+    pub(crate) ranges: Vec<(u64, u64)>,
 }
 
 impl CoverBuffers {
@@ -21,6 +21,50 @@ impl CoverBuffers {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The ranges produced by the last [`compute_covering`] call.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+}
+
+/// Run the curve's range decomposition for `rect` into `cover.ranges`,
+/// returning the decomposition cost. This is the expensive half of
+/// [`build_filter_with`], split out so the router's plan cache can skip
+/// it on a hit (and compute it for a *quantized* rectangle on a miss)
+/// while filter assembly stays exact.
+pub fn compute_covering(
+    rect: &GeoRect,
+    grid: &dyn Curve,
+    budget: RangeBudget,
+    cover: &mut CoverBuffers,
+) -> Duration {
+    let start = Instant::now();
+    cover.ranges.clear();
+    grid.decompose_rect_into(rect, budget, &mut cover.scratch, &mut cover.ranges);
+    start.elapsed()
+}
+
+/// Assemble the store-level filter from a query plus precomputed
+/// covering ranges — the cheap half of [`build_filter_with`]. The
+/// residual clauses (exact `$geoWithin` rectangle, exact `$gte`/`$lte`
+/// date window) always come from `query` itself, so callers may pass
+/// ranges computed for a *superset* rectangle (the router's quantized
+/// plan keys) without affecting results. `ranges = None` builds the
+/// curve-less baseline filter.
+pub fn assemble_filter(query: &StQuery, ranges: Option<&[(u64, u64)]>) -> Filter {
+    let mut clauses = vec![
+        Filter::GeoWithin {
+            path: LOCATION_FIELD.into(),
+            rect: query.rect,
+        },
+        Filter::gte(DATE_FIELD, query.t0),
+        Filter::lte(DATE_FIELD, query.t1),
+    ];
+    if let Some(ranges) = ranges {
+        clauses.push(hilbert_clause(ranges));
+    }
+    Filter::And(clauses)
 }
 
 /// A spatio-temporal range query: "every point inside `rect` between
@@ -67,27 +111,14 @@ pub fn build_filter_with(
     budget: RangeBudget,
     cover: &mut CoverBuffers,
 ) -> (Filter, Duration, usize) {
-    let mut clauses = vec![
-        Filter::GeoWithin {
-            path: LOCATION_FIELD.into(),
-            rect: query.rect,
-        },
-        Filter::gte(DATE_FIELD, query.t0),
-        Filter::lte(DATE_FIELD, query.t1),
-    ];
-    let (hilbert_time, n_ranges) = match curve {
-        None => (Duration::ZERO, 0),
+    match curve {
+        None => (assemble_filter(query, None), Duration::ZERO, 0),
         Some(grid) => {
-            let start = Instant::now();
-            cover.ranges.clear();
-            grid.decompose_rect_into(&query.rect, budget, &mut cover.scratch, &mut cover.ranges);
-            let elapsed = start.elapsed();
+            let hilbert_time = compute_covering(&query.rect, grid, budget, cover);
             let n = cover.ranges.len();
-            clauses.push(hilbert_clause(&cover.ranges));
-            (elapsed, n)
+            (assemble_filter(query, Some(&cover.ranges)), hilbert_time, n)
         }
-    };
-    (Filter::And(clauses), hilbert_time, n_ranges)
+    }
 }
 
 /// Build the filter for a **polygonal** spatio-temporal query — the

@@ -1,5 +1,6 @@
 //! Per-query reports combining cluster metrics and curve overhead.
 
+use crate::router::RouterReport;
 use std::time::Duration;
 use sts_cluster::{ClusterQueryReport, ShardExecution};
 use sts_document::{doc, Document, Value};
@@ -23,6 +24,9 @@ pub struct QueryReport {
     /// the boundary fit — behind its covering; this is the plan-cache
     /// key component the router tier will reuse.
     pub curve_fingerprint: Option<u64>,
+    /// What the router tier did for this query: plan/result cache
+    /// outcomes, routing reuse, and policy-forced hedging.
+    pub router: RouterReport,
 }
 
 impl QueryReport {
@@ -74,6 +78,12 @@ impl QueryReport {
             },
             "routingMicros" => micros(self.cluster.routing),
             "mergeMicros" => micros(self.cluster.merge),
+            "router" => doc! {
+                "planCache" => self.router.plan_cache.name(),
+                "resultCache" => self.router.result_cache.name(),
+                "routeReused" => self.router.route_reused,
+                "hedgedByPolicy" => self.router.hedged_by_policy,
+            },
             "shards" => shards,
         };
         if let Some(fp) = self.curve_fingerprint {
@@ -258,6 +268,7 @@ mod tests {
             hilbert_time: Duration::from_micros(5),
             hilbert_ranges: 4,
             curve_fingerprint: None,
+            router: RouterReport::default(),
         };
         assert_eq!(r.cluster_latency(), Duration::from_millis(11));
         assert_eq!(r.execution_time(), Duration::from_millis(25));
@@ -297,6 +308,7 @@ mod tests {
             hilbert_time: Duration::from_micros(9),
             hilbert_ranges: 4,
             curve_fingerprint: Some(0xdead_beef_0042_cafe),
+            router: RouterReport::default(),
         };
         let e = r.explain();
         assert_eq!(e.get("nReturned"), Some(&Value::Int64(2)));
@@ -373,6 +385,7 @@ mod tests {
             hilbert_time: Duration::from_micros(9),
             hilbert_ranges: 4,
             curve_fingerprint: None,
+            router: RouterReport::default(),
         };
         let mut f = sts_obs::FoldedStacks::new();
         r.fold_stages(&mut f);

@@ -28,6 +28,8 @@ fn sixty_four_seeded_schedules_match_the_oracle() {
     let mut total_commits = 0u64;
     let mut total_aborts = 0u64;
     let mut total_retries = 0u64;
+    let mut total_cache_hits = 0u64;
+    let mut total_cache_stale = 0u64;
     let mut curve_combos: BTreeSet<(&str, &str)> = BTreeSet::new();
     for seed in 0..64u64 {
         let case = ScheduleCase::generate(seed);
@@ -52,9 +54,19 @@ fn sixty_four_seeded_schedules_match_the_oracle() {
             report.fault_recoveries >= 1,
             "seed {seed}: armed faults never fired"
         );
+        assert!(
+            report.cached_queries >= 2,
+            "seed {seed}: schedule never exercised the result cache"
+        );
+        assert!(
+            report.cache_hits >= report.cached_queries as u64,
+            "seed {seed}: every CachedQuery's second run must hit"
+        );
         total_commits += report.migrations_committed;
         total_aborts += report.migrations_aborted;
         total_retries += report.migration_retries;
+        total_cache_hits += report.cache_hits;
+        total_cache_stale += report.cache_stale;
     }
     // Across the matrix the fault mix must have produced both
     // outcomes of the two-phase protocol: commits *and* rollbacks,
@@ -65,6 +77,14 @@ fn sixty_four_seeded_schedules_match_the_oracle() {
     assert!(
         total_retries > 0,
         "no migration ever retried a transient fault"
+    );
+    // The result cache must have both served pages and detected stale
+    // entries across the matrix — a matrix where nothing ever goes
+    // stale isn't testing the epoch/write-generation invalidation.
+    assert!(total_cache_hits > 0, "the result cache never served a hit");
+    assert!(
+        total_cache_stale > 0,
+        "no cached page was ever invalidated by a commit"
     );
     // Non-vacuity for the curve zoo: both curve-based approaches must
     // have run under every family in the matrix — eight combinations,

@@ -1,0 +1,446 @@
+//! Router-tier integration tests: covering-plan cache identity,
+//! result-page cache correctness, executor metric attribution, and
+//! admission control.
+
+mod support;
+
+use std::sync::Arc;
+use std::time::Duration;
+use sts::core::{
+    AdmissionConfig, Approach, CacheOutcome, PlanCache, RouterConfig, ShedReason, SloPolicy,
+    StQuery, StStore, StoreConfig, TimelineConfig,
+};
+use sts::curve::CurveFamily;
+use sts::document::{doc, DateTime, Document, Value};
+use sts::geo::GeoRect;
+use sts::obs::Registry;
+use support::oracle::Oracle;
+
+const MBR: GeoRect = GeoRect::new(20.0, 35.0, 28.0, 41.5);
+
+fn point(i: u32, lon: f64, lat: f64, ms: i64) -> Document {
+    let mut d = doc! {
+        "location" => doc! {
+            "type" => "Point",
+            "coordinates" => vec![Value::from(lon), Value::from(lat)],
+        },
+        "date" => DateTime::from_millis(ms),
+    };
+    d.ensure_id(i);
+    d
+}
+
+/// A deterministic grid corpus over the MBR.
+fn grid_corpus(n_side: u32, id_base: u32) -> Vec<Document> {
+    let mut docs = Vec::new();
+    for x in 0..n_side {
+        for y in 0..n_side {
+            let i = x * n_side + y;
+            docs.push(point(
+                id_base + i,
+                20.2 + f64::from(x) * 7.4 / f64::from(n_side),
+                35.2 + f64::from(y) * 6.0 / f64::from(n_side),
+                i64::from(i) * 50_000,
+            ));
+        }
+    }
+    docs
+}
+
+/// A corpus clustered tightly in one corner — fitting SkewGeoHash on
+/// it produces very different bucket boundaries than the even grid.
+fn clustered_corpus(n: u32, id_base: u32) -> Vec<Document> {
+    (0..n)
+        .map(|i| {
+            point(
+                id_base + i,
+                20.1 + f64::from(i % 37) * 0.02,
+                35.1 + f64::from(i % 41) * 0.02,
+                i64::from(i) * 50_000,
+            )
+        })
+        .collect()
+}
+
+fn q() -> StQuery {
+    StQuery {
+        rect: GeoRect::new(21.0, 36.0, 24.5, 39.0),
+        t0: DateTime::from_millis(0),
+        t1: DateTime::from_millis(100_000_000),
+    }
+}
+
+/// Satellite: two stores running SkewGeoHash fitted on *different*
+/// samples share one plan cache without ever sharing entries — the
+/// `Curve::fingerprint` key component (which folds the fitted bucket
+/// boundaries in) keeps them apart end to end.
+#[test]
+fn different_skewgeohash_fits_never_share_plan_entries() {
+    let corpus_a = grid_corpus(30, 0);
+    let corpus_b = clustered_corpus(900, 50_000);
+    let mut store_a = support::store_for_curve(
+        Approach::HilStar,
+        CurveFamily::SkewGeoHash,
+        &corpus_a,
+        MBR,
+        4,
+    );
+    let mut store_b = support::store_for_curve(
+        Approach::HilStar,
+        CurveFamily::SkewGeoHash,
+        &corpus_b,
+        MBR,
+        4,
+    );
+    let fp_a = store_a.curve().unwrap().fingerprint();
+    let fp_b = store_b.curve().unwrap().fingerprint();
+    assert_ne!(
+        fp_a, fp_b,
+        "different training samples must fit different curves"
+    );
+
+    // One shared cache fronting both stores.
+    let shared = Arc::new(PlanCache::new(1024, 8));
+    store_a.share_plan_cache(shared.clone());
+    store_b.share_plan_cache(shared.clone());
+
+    let query = q();
+    let (docs_a1, ra1) = store_a.st_query(&query);
+    let (docs_b1, rb1) = store_b.st_query(&query);
+    assert_eq!(ra1.router.plan_cache, CacheOutcome::Miss);
+    assert_eq!(
+        rb1.router.plan_cache,
+        CacheOutcome::Miss,
+        "store B must NOT hit store A's plan: the fits differ"
+    );
+    let counters = shared.counters();
+    assert_eq!(counters.misses, 2);
+    assert_eq!(counters.hits, 0);
+    assert_eq!(shared.len(), 2, "one entry per fingerprint");
+
+    // Re-running each query hits its own store's entry.
+    let (docs_a2, ra2) = store_a.st_query(&query);
+    let (docs_b2, rb2) = store_b.st_query(&query);
+    assert_eq!(ra2.router.plan_cache, CacheOutcome::Hit);
+    assert_eq!(rb2.router.plan_cache, CacheOutcome::Hit);
+    assert_eq!(shared.counters().hits, 2);
+
+    // And every run is exact against the brute-force oracle.
+    let oracle_a = Oracle::new(corpus_a);
+    let oracle_b = Oracle::new(corpus_b);
+    for docs in [&docs_a1, &docs_a2] {
+        assert_eq!(docs.len() as u64, oracle_a.count(&query));
+    }
+    for docs in [&docs_b1, &docs_b2] {
+        assert_eq!(docs.len() as u64, oracle_b.count(&query));
+    }
+}
+
+/// Satellite: work executed by the shard executor's worker threads —
+/// including stolen work — lands in the *owning store's* scoped
+/// registry, never in the process-global one.
+#[test]
+fn executor_metrics_land_in_the_owning_stores_registry() {
+    let corpus = grid_corpus(25, 0);
+    let mut store = support::store_for(Approach::Hil, &corpus, MBR, 4);
+    let private = Arc::new(Registry::new());
+    store.set_metrics_registry(private.clone());
+
+    let global_before = sts::obs::global()
+        .snapshot()
+        .counter("executor.tasks")
+        .unwrap_or(0);
+    for _ in 0..4 {
+        store.st_query(&q());
+    }
+    let snap = private.snapshot();
+    let tasks = snap.counter("executor.tasks").unwrap_or(0);
+    assert!(
+        tasks > 0,
+        "fan-out work must be attributed to the scoped registry"
+    );
+    assert!(
+        snap.counter("router.plancache.hit").unwrap_or(0) > 0,
+        "plan-cache counters are scoped too"
+    );
+    let global_after = sts::obs::global()
+        .snapshot()
+        .counter("executor.tasks")
+        .unwrap_or(0);
+    assert_eq!(
+        global_before, global_after,
+        "a scoped store must not bleed executor metrics into the global registry"
+    );
+}
+
+/// Plan-cache hits skip the covering computation, replay the routing
+/// decision while it is valid, refresh it after a chunk split — and
+/// stay exact throughout.
+#[test]
+fn plan_cache_reuses_coverings_and_refreshes_stale_routes() {
+    let corpus = grid_corpus(30, 0);
+    let mut store = support::store_for(Approach::Hil, &corpus, MBR, 4);
+    let oracle = Oracle::new(corpus);
+    let query = q();
+
+    let (docs1, r1) = store.st_query(&query);
+    assert_eq!(r1.router.plan_cache, CacheOutcome::Miss);
+    assert!(!r1.router.route_reused);
+    assert!(r1.hilbert_ranges > 0);
+
+    let (docs2, r2) = store.st_query(&query);
+    assert_eq!(r2.router.plan_cache, CacheOutcome::Hit);
+    assert!(r2.router.route_reused, "routing generation unchanged");
+    assert_eq!(r2.hilbert_time, Duration::ZERO, "no decomposition on hit");
+    assert_eq!(r2.hilbert_ranges, r1.hilbert_ranges);
+    assert_eq!(docs1.len(), docs2.len());
+
+    // A chunk split bumps the routing generation: the covering stays
+    // cached but the routing decision must be recomputed, not replayed.
+    store.split_chunk(0);
+    let (docs3, r3) = store.st_query(&query);
+    assert_eq!(r3.router.plan_cache, CacheOutcome::Hit);
+    assert!(
+        !r3.router.route_reused,
+        "stale routing generation must not be replayed"
+    );
+    let (docs4, r4) = store.st_query(&query);
+    assert!(r4.router.route_reused, "refreshed route is replayed again");
+
+    for docs in [&docs1, &docs2, &docs3, &docs4] {
+        assert_eq!(docs.len() as u64, oracle.count(&query), "exact results");
+    }
+}
+
+/// The result-page cache serves identical pages with preserved result
+/// counters, and every kind of write — synchronous insert, staged
+/// batch commit, delete — invalidates affected entries.
+#[test]
+fn result_cache_serves_pages_and_never_goes_stale() {
+    let corpus = grid_corpus(20, 0);
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 4,
+        max_chunk_bytes: 24 * 1024,
+        data_mbr: MBR,
+        router: RouterConfig {
+            result_cache_entries: 64,
+            ..RouterConfig::default()
+        },
+        ..Default::default()
+    });
+    store.bulk_load(corpus.iter().cloned()).unwrap();
+    let query = q();
+    let mut reference = corpus.clone();
+
+    let (docs1, r1) = store.st_query(&query);
+    assert_eq!(r1.router.result_cache, CacheOutcome::Miss);
+    let (docs2, r2) = store.st_query(&query);
+    assert_eq!(r2.router.result_cache, CacheOutcome::Hit);
+    assert_eq!(docs1.len(), docs2.len());
+    assert_eq!(
+        r2.cluster.n_returned(),
+        r1.cluster.n_returned(),
+        "hits preserve the fill execution's result counters"
+    );
+    assert!(
+        r2.cluster.fault_free(),
+        "a served page reports a clean execution"
+    );
+
+    // Synchronous insert inside the query window → stale, then exact.
+    let extra = point(90_000, 22.0, 37.0, 1_000_000);
+    reference.push(extra.clone());
+    store.insert(extra).unwrap();
+    let (docs3, r3) = store.st_query(&query);
+    assert_eq!(
+        r3.router.result_cache,
+        CacheOutcome::Stale,
+        "a write must invalidate the cached page"
+    );
+    assert_eq!(docs3.len(), docs1.len() + 1, "the new document is visible");
+    let oracle = Oracle::new(reference.clone());
+    assert_eq!(docs3.len() as u64, oracle.count(&query));
+
+    // Staged batch: staging alone already invalidates (conservative —
+    // the write generation moved), commit keeps it invalid until the
+    // refill; after refill the commit's documents are in the page.
+    let staged = point(90_001, 22.1, 37.1, 1_100_000);
+    reference.push(staged.clone());
+    store.stage(staged).unwrap();
+    let (docs4, r4) = store.st_query(&query);
+    assert_ne!(r4.router.result_cache, CacheOutcome::Hit);
+    assert_eq!(docs4.len(), docs3.len(), "staged docs stay invisible");
+    store.commit_batch();
+    let (docs5, r5) = store.st_query(&query);
+    assert_ne!(r5.router.result_cache, CacheOutcome::Hit);
+    let oracle = Oracle::new(reference.clone());
+    assert_eq!(docs5.len() as u64, oracle.count(&query));
+    let (docs6, r6) = store.st_query(&query);
+    assert_eq!(r6.router.result_cache, CacheOutcome::Hit);
+    assert_eq!(docs6.len(), docs5.len());
+
+    // Deletion invalidates too.
+    let victim = StQuery {
+        rect: GeoRect::new(21.9, 36.9, 22.2, 37.2),
+        t0: DateTime::from_millis(0),
+        t1: DateTime::from_millis(2_000_000),
+    };
+    let removed = store.st_delete(&victim);
+    assert!(removed > 0);
+    let (docs7, r7) = store.st_query(&query);
+    assert_ne!(
+        r7.router.result_cache,
+        CacheOutcome::Hit,
+        "deletes must invalidate cached pages"
+    );
+    assert_eq!(docs7.len(), docs6.len() - removed as usize);
+}
+
+/// Admission control: per-tenant token buckets shed the tenant that
+/// exhausts its burst (zero refill keeps the test deterministic),
+/// while other tenants keep flowing.
+#[test]
+fn admission_sheds_tenants_over_budget() {
+    let corpus = grid_corpus(12, 0);
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 4,
+        data_mbr: MBR,
+        router: RouterConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                tenant_burst: 3.0,
+                tenant_rate_per_sec: 0.0,
+                ..AdmissionConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+        ..Default::default()
+    });
+    store.bulk_load(corpus).unwrap();
+    let query = q();
+
+    for _ in 0..3 {
+        store
+            .st_query_admitted("greedy", &query)
+            .expect("burst budget admits");
+    }
+    let shed = store
+        .st_query_admitted("greedy", &query)
+        .expect_err("the 4th query must shed");
+    assert_eq!(shed.reason, ShedReason::TenantBudget);
+    assert_eq!(shed.tenant, "greedy");
+    assert_eq!(store.shed_count(), 1);
+    // Other tenants have their own bucket.
+    store
+        .st_query_admitted("frugal", &query)
+        .expect("other tenants are unaffected");
+}
+
+/// Latency-budget policy: with the ledger's p99 over the budget, a low
+/// SLO burn rate escalates to hedged reads; a high burn rate sheds.
+/// Every decision is a timeline event.
+#[test]
+fn latency_budget_hedges_on_low_burn_and_sheds_on_high() {
+    let build = |slo_threshold: Duration| {
+        let corpus = grid_corpus(12, 0);
+        let mut store = StStore::new(StoreConfig {
+            approach: Approach::Hil,
+            num_shards: 4,
+            data_mbr: MBR,
+            router: RouterConfig {
+                admission: AdmissionConfig {
+                    enabled: true,
+                    // Every real query's p99 exceeds 1 ns.
+                    latency_budget: Duration::from_nanos(1),
+                    shed_burn_threshold: 2.0,
+                    min_observations: 1,
+                    ..AdmissionConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+            ..Default::default()
+        });
+        store.bulk_load(corpus).unwrap();
+        store.enable_timeline(
+            TimelineConfig::default(),
+            Some(SloPolicy::p99("query.total", slo_threshold)),
+        );
+        // Prime the health ledger + seal SLO windows.
+        for _ in 0..4 {
+            store.st_query(&q());
+        }
+        store
+    };
+
+    // SLO threshold far above any latency → zero bad events → burn 0
+    // → over-budget p99 escalates to a hedge, not a shed.
+    let store = build(Duration::from_secs(3600));
+    let (_, report) = store
+        .st_query_admitted("tenant", &q())
+        .expect("low burn hedges instead of shedding");
+    assert!(report.router.hedged_by_policy);
+    assert_eq!(store.hedge_count(), 1);
+    assert_eq!(store.shed_count(), 0);
+
+    // SLO threshold of zero → every event is bad → burn = 1/budget ≫ 2
+    // → the over-budget p99 sheds.
+    let store = build(Duration::ZERO);
+    let shed = store
+        .st_query_admitted("tenant", &q())
+        .expect_err("high burn must shed");
+    assert_eq!(shed.reason, ShedReason::LatencyBudget);
+    assert_eq!(store.shed_count(), 1);
+    // Both decisions are visible on the timeline as events.
+    let (timeline, _) = store.finish_timeline().expect("timeline was on");
+    assert!(
+        timeline
+            .windows()
+            .flat_map(|w| w.events.iter())
+            .any(|e| e.kind == "router.shed"),
+        "sheds must be recorded as timeline events"
+    );
+}
+
+/// `st_explain` surfaces the cache counters next to the per-query
+/// outcomes.
+#[test]
+fn explain_surfaces_router_tier() {
+    let corpus = grid_corpus(12, 0);
+    let mut store = StStore::new(StoreConfig {
+        approach: Approach::Hil,
+        num_shards: 4,
+        data_mbr: MBR,
+        router: RouterConfig {
+            result_cache_entries: 16,
+            ..RouterConfig::default()
+        },
+        ..Default::default()
+    });
+    store.bulk_load(corpus).unwrap();
+    store.st_query(&q()); // plan miss, result miss (fills both)
+    store.insert(point(90_000, 22.0, 37.0, 1_000_000)).unwrap();
+    store.st_query(&q()); // plan hit, result stale → refill
+    let e = store.st_explain(&q()); // result hit
+    let router = match e.get("router") {
+        Some(Value::Document(d)) => d,
+        other => panic!("router: {other:?}"),
+    };
+    assert_eq!(
+        router.get("resultCache"),
+        Some(&Value::String("hit".into()))
+    );
+    let plan = match e.get("planCacheCounters") {
+        Some(Value::Document(d)) => d,
+        other => panic!("planCacheCounters: {other:?}"),
+    };
+    match plan.get("hits") {
+        Some(&Value::Int64(n)) => assert!(n >= 1),
+        other => panic!("hits: {other:?}"),
+    }
+    assert!(matches!(
+        e.get("resultCacheCounters"),
+        Some(Value::Document(_))
+    ));
+}

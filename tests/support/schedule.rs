@@ -33,7 +33,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use sts::cluster::{FailPoint, FailPointMode};
-use sts::core::{Approach, StQuery, StStore, StoreConfig};
+use sts::core::{Approach, CacheOutcome, QueryReport, RouterConfig, StQuery, StStore, StoreConfig};
 use sts::curve::CurveFamily;
 use sts::document::{doc, DateTime, Document, Value};
 use sts::geo::GeoRect;
@@ -69,6 +69,14 @@ pub enum ScheduleOp {
     Commit,
     /// Run `queries[qidx % len]` and demand exact oracle parity.
     Query { qidx: usize },
+    /// Run `queries[qidx % len]` **twice back to back** through the
+    /// router's result-page cache, demanding exact oracle parity on
+    /// both runs and a cache hit on the second — the first run either
+    /// fills a fresh entry or detects a stale one (data moved since an
+    /// earlier `CachedQuery` of the same shape) and refills it. Proves
+    /// the epoch/write-generation stamping never serves a torn or
+    /// stale page across commit/split/migrate interleavings.
+    CachedQuery { qidx: usize },
     /// Split a chunk: `sel` picks it (mod live chunk count), falling
     /// back to the fullest chunk when the pick has too few docs to
     /// split.
@@ -155,6 +163,13 @@ pub struct ReplayReport {
     /// timeouts) plus migration-side retries/aborts — evidence the
     /// armed faults actually fired.
     pub fault_recoveries: u64,
+    /// `CachedQuery` ops executed (each runs its query twice).
+    pub cached_queries: usize,
+    /// Result-page cache hits served during the replay.
+    pub cache_hits: u64,
+    /// Cache entries invalidated by their epoch/write-generation stamp
+    /// (data moved between fills) — the staleness-detection evidence.
+    pub cache_stale: u64,
 }
 
 /// A failed replay: which op broke which invariant.
@@ -348,6 +363,11 @@ impl ScheduleCase {
                     sel: rng.next(),
                     dst_off: rng.next(),
                 });
+                // Fill the result cache with the full-extent page right
+                // after the first commit; later batches invalidate it
+                // (writes/epoch move), so the final `CachedQuery {0}`
+                // is guaranteed to observe a stale entry and refill.
+                ops.push(ScheduleOp::CachedQuery { qidx: 0 });
             }
             if b == 1 {
                 // A second fault profile mid-schedule; always-on every
@@ -367,6 +387,11 @@ impl ScheduleCase {
                     qidx: rng.below(6) as usize,
                 });
             }
+            // Every batch exercises the result cache at some point of
+            // the commit/split/migrate interleaving.
+            ops.push(ScheduleOp::CachedQuery {
+                qidx: rng.below(6) as usize,
+            });
         }
         // A final migration attempt under whatever faults are still
         // armed, then the full-extent parity check.
@@ -375,6 +400,9 @@ impl ScheduleCase {
             dst_off: rng.next(),
         });
         ops.push(ScheduleOp::Query { qidx: 0 });
+        // The guaranteed-stale re-read: qidx 0 was cached after the
+        // first commit and at least two more batches committed since.
+        ops.push(ScheduleOp::CachedQuery { qidx: 0 });
 
         ScheduleCase {
             seed,
@@ -411,6 +439,47 @@ fn pick_chunk(store: &StStore, sel: u64) -> usize {
 
 fn id_of(d: &Document) -> Result<sts::document::ObjectId, String> {
     d.object_id().ok_or_else(|| "document without _id".into())
+}
+
+/// Run one query and check it against the oracle: complete (never
+/// partial under recovery), duplicate-free, exact `_id` parity with
+/// the committed corpus, and an exact report count.
+fn checked_query(
+    store: &StStore,
+    q: &StQuery,
+    oracle: &Oracle,
+    label: &str,
+) -> Result<(Vec<Document>, QueryReport), String> {
+    let (docs, qr) = store.st_query(q);
+    if qr.cluster.partial {
+        return Err(format!("{label} returned a partial result under recovery"));
+    }
+    let mut got = BTreeSet::new();
+    for d in &docs {
+        let id = id_of(d)?;
+        if !got.insert(id) {
+            return Err(format!("{label} returned {id:?} twice"));
+        }
+    }
+    let want = oracle.id_set(q);
+    if got != want {
+        let missing: Vec<_> = want.difference(&got).collect();
+        let extra: Vec<_> = got.difference(&want).collect();
+        return Err(format!(
+            "{label} parity broken ({} got vs {} expected): \
+             missing {missing:?}, extra {extra:?}",
+            got.len(),
+            want.len()
+        ));
+    }
+    if qr.cluster.n_returned() != oracle.count(q) {
+        return Err(format!(
+            "{label} report counts {} docs, oracle {}",
+            qr.cluster.n_returned(),
+            oracle.count(q)
+        ));
+    }
+    Ok((docs, qr))
 }
 
 /// The conservation invariant: the union of every shard's physical
@@ -479,6 +548,13 @@ pub fn replay(case: &ScheduleCase) -> Result<ReplayReport, ReplayError> {
         // the staged batches arrive *after* deployment, exactly like
         // production ingest against an already-fitted curve.
         curve_sample: curve_sample_of(&case.base),
+        // The result-page cache is ON for schedule replays — the whole
+        // point of `CachedQuery` is proving its epoch/write-generation
+        // invalidation against the oracle.
+        router: RouterConfig {
+            result_cache_entries: 256,
+            ..RouterConfig::default()
+        },
         ..Default::default()
     });
     store
@@ -511,7 +587,8 @@ pub fn replay(case: &ScheduleCase) -> Result<ReplayReport, ReplayError> {
             ScheduleOp::Query { qidx } => {
                 let q = &case.queries[qidx % case.queries.len()];
                 let oracle = Oracle::new(committed.clone());
-                let (docs, qr) = store.st_query(q);
+                let (_, qr) = checked_query(&store, q, &oracle, &format!("query {qidx}"))
+                    .map_err(|m| err(i, m))?;
                 report.queries_run += 1;
                 if !staged.is_empty() {
                     report.inflight_queries += 1;
@@ -519,43 +596,49 @@ pub fn replay(case: &ScheduleCase) -> Result<ReplayReport, ReplayError> {
                 report.fault_recoveries += u64::from(qr.cluster.total_retries())
                     + u64::from(qr.cluster.total_hedges())
                     + u64::from(qr.cluster.total_timeouts());
-                if qr.cluster.partial {
-                    return Err(err(
-                        i,
-                        format!("query {qidx} returned a partial result under recovery"),
-                    ));
+            }
+            ScheduleOp::CachedQuery { qidx } => {
+                let q = &case.queries[qidx % case.queries.len()];
+                let oracle = Oracle::new(committed.clone());
+                let label = format!("cached query {qidx}");
+                // First run: fills a fresh entry, or detects+refills a
+                // stale one. Either way exact parity is demanded — a
+                // stale page served here would break it.
+                let (docs1, qr1) = checked_query(&store, q, &oracle, &format!("{label} (fill)"))
+                    .map_err(|m| err(i, m))?;
+                // The first run may be a miss (fresh shape), a stale
+                // refill (data moved since an earlier fill) or even a
+                // hit (same shape re-run with nothing changed) — but
+                // never a bypass: the cache is on for every replay.
+                if qr1.router.result_cache == CacheOutcome::Bypass {
+                    return Err(err(i, format!("{label}: result cache bypassed")));
                 }
-                let mut got = BTreeSet::new();
-                for d in &docs {
-                    let id = id_of(d).map_err(|m| err(i, m))?;
-                    if !got.insert(id) {
-                        return Err(err(i, format!("query {qidx} returned {id:?} twice")));
-                    }
-                }
-                let want = oracle.id_set(q);
-                if got != want {
-                    let missing: Vec<_> = want.difference(&got).collect();
-                    let extra: Vec<_> = got.difference(&want).collect();
-                    return Err(err(
-                        i,
-                        format!(
-                            "query {qidx} parity broken ({} got vs {} expected): \
-                             missing {missing:?}, extra {extra:?}",
-                            got.len(),
-                            want.len()
-                        ),
-                    ));
-                }
-                if qr.cluster.n_returned() != oracle.count(q) {
+                // Second run, back to back: nothing changed, so the
+                // page MUST come from the cache and match exactly.
+                let (docs2, qr2) = checked_query(&store, q, &oracle, &format!("{label} (hit)"))
+                    .map_err(|m| err(i, m))?;
+                if qr2.router.result_cache != CacheOutcome::Hit {
                     return Err(err(
                         i,
                         format!(
-                            "query {qidx} report counts {} docs, oracle {}",
-                            qr.cluster.n_returned(),
-                            oracle.count(q)
+                            "{label}: second back-to-back run was {:?}, expected a cache hit",
+                            qr2.router.result_cache
                         ),
                     ));
                 }
+                let ids1: Vec<_> = docs1.iter().map(id_of).collect::<Result<_, _>>().unwrap();
+                let ids2: Vec<_> = docs2.iter().map(id_of).collect::<Result<_, _>>().unwrap();
+                if ids1 != ids2 {
+                    return Err(err(i, format!("{label}: cached page diverged from fill")));
+                }
+                report.queries_run += 2;
+                report.cached_queries += 1;
+                if !staged.is_empty() {
+                    report.inflight_queries += 2;
+                }
+                report.fault_recoveries += u64::from(qr1.cluster.total_retries())
+                    + u64::from(qr1.cluster.total_hedges())
+                    + u64::from(qr1.cluster.total_timeouts());
             }
             ScheduleOp::Split { sel } => {
                 store.split_chunk(pick_chunk(&store, *sel));
@@ -590,6 +673,9 @@ pub fn replay(case: &ScheduleCase) -> Result<ReplayReport, ReplayError> {
     report.migrations_aborted = stats.migrations_aborted - stats0.migrations_aborted;
     report.migration_retries = stats.migration_retries - stats0.migration_retries;
     report.fault_recoveries += report.migration_retries + report.migrations_aborted;
+    let cache = store.result_cache_counters();
+    report.cache_hits = cache.hits;
+    report.cache_stale = cache.stale;
     Ok(report)
 }
 
@@ -633,6 +719,9 @@ fn op_json(op: &ScheduleOp) -> String {
         ScheduleOp::Stage { lo, hi } => format!(r#"{{"op":"stage","lo":{lo},"hi":{hi}}}"#),
         ScheduleOp::Commit => r#"{"op":"commit"}"#.to_string(),
         ScheduleOp::Query { qidx } => format!(r#"{{"op":"query","qidx":{qidx}}}"#),
+        ScheduleOp::CachedQuery { qidx } => {
+            format!(r#"{{"op":"cached_query","qidx":{qidx}}}"#)
+        }
         ScheduleOp::Split { sel } => format!(r#"{{"op":"split","sel":{sel}}}"#),
         ScheduleOp::Migrate { sel, dst_off } => {
             format!(r#"{{"op":"migrate","sel":{sel},"dst_off":{dst_off}}}"#)
